@@ -1,0 +1,71 @@
+"""ABL-1 — ablation: the unitary-mixture fast path (CUDA-Q feature #2).
+
+The same physical dephasing noise expressed two ways: as a unitary
+mixture (phase flip — state-independent probabilities, table lookup per
+site) and as general Kraus operators (phase damping — requires
+<psi|K^dag K|psi> per branch per site).  Algorithm-1 trajectory cost is
+measured for both; the fast path's advantage is the ablation result.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.backends.statevector import StatevectorBackend
+from repro.channels import NoiseModel, phase_flip
+from repro.channels.standard import phase_damping
+from repro.circuits import library
+from repro.rng import make_rng
+from repro.trajectory.baseline import TrajectorySimulator
+
+
+def _workload(channel):
+    circ = library.random_brickwork(8, 4, rng=make_rng(5), measure=True)
+    model = NoiseModel().add_all_qubit_gate_noise("rx", channel)
+    return model.apply(circ).freeze()
+
+
+@pytest.fixture(scope="module")
+def mixture_circuit():
+    lam = 0.2
+    return _workload(phase_flip((1 - math.sqrt(1 - lam)) / 2))
+
+
+@pytest.fixture(scope="module")
+def general_circuit():
+    return _workload(phase_damping(0.2))
+
+
+@pytest.mark.parametrize("kind", ["unitary_mixture", "general_kraus"])
+def test_ablation_trajectory_cost(benchmark, mixture_circuit, general_circuit, kind):
+    circ = mixture_circuit if kind == "unitary_mixture" else general_circuit
+    sim = TrajectorySimulator(lambda: StatevectorBackend(8))
+
+    def run():
+        return sim.sample(circ, 20, seed=1)
+
+    benchmark(run)
+    benchmark.extra_info["path"] = kind
+
+
+def test_ablation_report(benchmark, mixture_circuit, general_circuit):
+    def series():
+        sim = TrajectorySimulator(lambda: StatevectorBackend(8))
+        t0 = time.perf_counter()
+        sim.sample(mixture_circuit, 40, seed=2)
+        fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sim.sample(general_circuit, 40, seed=2)
+        general = time.perf_counter() - t0
+        return fast, general
+
+    fast, general = benchmark.pedantic(series, rounds=2, iterations=1)
+    print(
+        f"\nUnitary-mixture fast path: {fast * 1e3:.1f} ms / 40 trajectories; "
+        f"general-Kraus path: {general * 1e3:.1f} ms ({general / fast:.2f}x slower)"
+    )
+    # The general path computes per-branch expectations; it must cost more.
+    assert general > fast

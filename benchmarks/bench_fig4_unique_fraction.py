@@ -1,0 +1,74 @@
+"""F4-b — Fig. 4 (right axis): unique-shot fraction vs. total shots.
+
+Paper shape: for a wide, intricate state the sampled bitstrings stay
+largely distinct even at huge batch sizes ("samples of 10^6 total shots
+are comprised of more than a 0.5 fraction of unique results" on 2^35
+dimensions).  The fraction decays with batch size once batches become
+comparable to the effective support of the distribution — visible at
+laptop width by sweeping batch size past 2^n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.statevector import StatevectorBackend
+from repro.circuits import library
+from repro.data.stats import unique_fraction
+from repro.execution import BatchedExecutor
+from repro.pts import TrajectorySpec
+from repro.rng import make_rng
+from repro.trajectory.events import TrajectoryRecord
+
+BATCHES = [100, 1_000, 10_000, 100_000]
+
+
+@pytest.fixture(scope="module")
+def wide_state():
+    """A 16-qubit scrambled state: large effective support, like the
+    paper's 2^35 MSD state at reduced width."""
+    sv = StatevectorBackend(16)
+    circ = library.random_brickwork(16, 6, rng=make_rng(99)).freeze()
+    sv.run_fixed(circ)
+    return sv
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+def test_fig4_unique_fraction(benchmark, wide_state, batch):
+    rng = make_rng(batch)
+
+    def run():
+        bits = wide_state.sample(batch, range(16), rng)
+        return unique_fraction(bits)
+
+    frac = benchmark(run)
+    benchmark.extra_info["batch_shots"] = batch
+    benchmark.extra_info["unique_fraction"] = frac
+
+
+def test_fig4_unique_report(benchmark, wide_state):
+    def series():
+        rows = []
+        for batch in BATCHES:
+            bits = wide_state.sample(batch, range(16), make_rng(batch))
+            rows.append((batch, unique_fraction(bits)))
+        return rows
+
+    rows = benchmark.pedantic(series, rounds=2, iterations=1)
+    lines = ["", "Fig. 4 (right axis): unique-shot fraction vs batch size (n=16)"]
+    for batch, frac in rows:
+        lines.append(f"  {batch:>7d} shots -> unique fraction {frac:.3f}")
+    lines.append("paper (n=35): fraction > 0.5 even at 1e6 shots")
+    print("\n".join(lines))
+    # Shape: fraction decays with batch size but stays high while the
+    # batch is far below the state dimension.
+    fracs = [f for _, f in rows]
+    assert fracs[0] > 0.95
+    assert all(a >= b - 0.02 for a, b in zip(fracs, fracs[1:]))
+    # The paper's regime is batch << 2**n (1e6 << 2**35, ratio ~3e-5); the
+    # comparable in-regime point here is 1e4 shots vs 2**16 (ratio 0.15),
+    # where the fraction must match the paper's "> 0.5" observation.  The
+    # 1e5 point (batch > dim) is deliberately past the regime to show the
+    # decay.
+    assert fracs[2] > 0.5
+    assert fracs[-1] > 0.2

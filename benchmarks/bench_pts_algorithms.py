@@ -1,0 +1,71 @@
+"""A2-cost — §3.1: PTS sampling is lightweight (~O(|{K}|^2 p^2)).
+
+The pre-sampling pass must be negligible next to state preparation:
+these benches measure every PTS algorithm's throughput on the MSD
+workload and the report compares against one state preparation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.execution import BatchedExecutor
+from repro.pts import (
+    CorrelatedNoisePTS,
+    ExhaustivePTS,
+    ProbabilisticPTS,
+    ProbabilityBandPTS,
+    ProportionalPTS,
+    TopKPTS,
+    TrajectorySpec,
+)
+from repro.rng import make_rng
+from repro.trajectory.events import TrajectoryRecord
+
+SAMPLERS = {
+    "probabilistic": lambda: ProbabilisticPTS(nsamples=500, nshots=1000),
+    "proportional": lambda: ProportionalPTS(total_shots=100_000, nsamples=500),
+    "band": lambda: ProbabilityBandPTS(1e-5, 1e-1, nsamples=500, nshots=1000),
+    "exhaustive": lambda: ExhaustivePTS(cutoff=1e-6, nshots=1000, max_errors=2),
+    "top_k": lambda: TopKPTS(k=50, nshots=1000),
+    "correlated": lambda: CorrelatedNoisePTS(num_bursts=500, radius=1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLERS))
+def test_pts_algorithm_throughput(benchmark, msd_bare, name):
+    sampler = SAMPLERS[name]()
+    rng = make_rng(0)
+    result = benchmark(lambda: sampler.sample(msd_bare, rng))
+    benchmark.extra_info["trajectories"] = result.num_trajectories
+    benchmark.extra_info["coverage"] = result.coverage()
+
+
+def test_pts_cost_vs_state_prep_report(benchmark, msd_bare, sv_backend):
+    """PTS for hundreds of trajectories should cost less than preparing a
+    handful of states — the premise of doing it *pre*-trajectory."""
+
+    def series():
+        t0 = time.perf_counter()
+        result = ProbabilisticPTS(nsamples=1000, nshots=1000).sample(
+            msd_bare, make_rng(1)
+        )
+        pts_s = time.perf_counter() - t0
+        executor = BatchedExecutor(sv_backend)
+        spec = TrajectorySpec(
+            record=TrajectoryRecord(trajectory_id=0, events=()), num_shots=1
+        )
+        t0 = time.perf_counter()
+        for _ in range(10):
+            executor.execute(msd_bare, [spec], seed=0)
+        prep10_s = time.perf_counter() - t0
+        return pts_s, prep10_s, result.num_trajectories
+
+    pts_s, prep10_s, trajectories = benchmark.pedantic(series, rounds=2, iterations=1)
+    print(
+        f"\nPTS pass: {trajectories} unique trajectories from 1000 attempts in "
+        f"{pts_s * 1e3:.1f} ms; 10 state preparations took {prep10_s * 1e3:.1f} ms"
+    )
+    assert pts_s < 10 * prep10_s

@@ -1,0 +1,72 @@
+"""T-hours — headline datasets: 10^12 shots / 4,445 GPU-hours (SV) and
+10^6 shots / 2,223 GPU-hours (TN).
+
+The GPU-hour numbers are arithmetic consequences of per-trajectory
+timings; the calibrated model reproduces them exactly, and the benchmark
+also measures this machine's own constants to show the same arithmetic
+at laptop scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.devices import PAPER_STATEVECTOR_TIMINGS, PAPER_TENSORNET_TIMINGS, PerfModel
+from repro.execution import BatchedExecutor
+from repro.pts import TrajectorySpec
+from repro.trajectory.events import TrajectoryRecord
+
+
+def test_paper_gpu_hours_statevector(benchmark):
+    model = PerfModel(PAPER_STATEVECTOR_TIMINGS)
+    hours = benchmark(lambda: model.dataset_gpu_hours(10**12, 10**6))
+    assert hours == pytest.approx(4445, rel=0.01)
+    benchmark.extra_info["gpu_hours"] = hours
+    benchmark.extra_info["paper"] = 4445
+
+
+def test_paper_gpu_hours_tensornet(benchmark):
+    model = PerfModel(PAPER_TENSORNET_TIMINGS)
+    hours = benchmark(lambda: model.dataset_gpu_hours(10**6, 100))
+    assert hours == pytest.approx(2223, rel=0.01)
+    benchmark.extra_info["gpu_hours"] = hours
+    benchmark.extra_info["paper"] = 2223
+
+
+def test_gpu_hours_report(benchmark, msd_bare, sv_backend):
+    """Calibrate this machine's constants and run the same arithmetic."""
+
+    def calibrate():
+        executor = BatchedExecutor(sv_backend)
+        spec = TrajectorySpec(
+            record=TrajectoryRecord(trajectory_id=0, events=()), num_shots=50_000
+        )
+        result = executor.execute(msd_bare, [spec], seed=0)
+        prep = result.prep_seconds
+        shot = result.sample_seconds / 50_000
+        return prep, shot
+
+    prep, shot = benchmark.pedantic(calibrate, rounds=3, iterations=1)
+    from repro.devices.perf_model import BackendTimings
+
+    local = PerfModel(BackendTimings(prep_seconds=prep, shot_seconds=shot, ref_devices=1))
+    sv_model = PerfModel(PAPER_STATEVECTOR_TIMINGS)
+    tn_model = PerfModel(PAPER_TENSORNET_TIMINGS)
+    lines = ["", "Dataset-cost table (GPU-hours / CPU-hours)"]
+    lines.append(
+        f"paper SV: 1e12 shots @1e6/traj -> model {sv_model.dataset_gpu_hours(10**12, 10**6):.0f} "
+        "GPU-h (paper 4,445)"
+    )
+    lines.append(
+        f"paper TN: 1e6 shots @100/traj  -> model {tn_model.dataset_gpu_hours(10**6, 100):.0f} "
+        "GPU-h (paper 2,223)"
+    )
+    lines.append(
+        f"this machine (5q MSD): prep {prep * 1e3:.2f} ms, shot {shot * 1e9:.1f} ns -> "
+        f"1e9 shots @1e6/traj = {local.dataset_gpu_hours(10**9, 10**6, 1):.2f} CPU-h, "
+        f"baseline = {local.baseline_gpu_hours(10**9, 1):.0f} CPU-h"
+    )
+    print("\n".join(lines))
+    assert local.saturating_speedup() > 100

@@ -1,0 +1,61 @@
+"""T-speedup — headline claim: "speedups of up to 10^6x and 16x".
+
+Measures real PTSBE vs. real Algorithm-1 baseline on this machine, per
+backend, across batch sizes, and prints the paper-vs-measured table.
+The absolute ratio is machine- and width-dependent; the reproduction
+claim is the *shape*: speedup ~ batch size until the prep/sample cost
+ratio saturates it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.speedup import measure_speedup, speedup_curve
+from repro.devices import PAPER_STATEVECTOR_TIMINGS, PAPER_TENSORNET_TIMINGS, PerfModel
+from repro.execution import BackendSpec
+
+
+@pytest.mark.parametrize("batch", [100, 10_000])
+def test_speedup_statevector(benchmark, msd_bare, batch):
+    def run():
+        return measure_speedup(msd_bare, batch, baseline_cap=20).speedup
+
+    speedup = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["batch"] = batch
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup > 10
+
+
+def test_speedup_mps(benchmark, msd_prep_35q):
+    def run():
+        return measure_speedup(
+            msd_prep_35q,
+            500,
+            backend=BackendSpec.mps(max_bond=16),
+            baseline_cap=5,
+        ).speedup
+
+    speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup > 16  # the paper's tensornet headline
+
+
+def test_speedup_table_report(benchmark, msd_bare):
+    def series():
+        return speedup_curve(msd_bare, [10, 100, 1_000, 10_000, 100_000], baseline_cap=20)
+
+    rows = benchmark.pedantic(series, rounds=1, iterations=1)
+    sv_model = PerfModel(PAPER_STATEVECTOR_TIMINGS)
+    lines = ["", "Speedup table: PTSBE vs Algorithm-1 baseline (statevector)"]
+    lines.append(f"{'batch':>8} {'measured x':>12} {'paper-model x':>14}")
+    for m in rows:
+        lines.append(
+            f"{m.batch_shots:>8d} {m.speedup:>12.1f} {sv_model.speedup(m.batch_shots):>14.1f}"
+        )
+    lines.append("paper headline: up to 1e6x (statevector), 16x (tensornet)")
+    print("\n".join(lines))
+    # Shape assertions: monotone growth, big at large batch.
+    speeds = [m.speedup for m in rows]
+    assert speeds[-1] > speeds[0]
+    assert speeds[-1] > 1000

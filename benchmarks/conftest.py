@@ -1,0 +1,57 @@
+"""Shared workloads for the benchmark harness.
+
+Every benchmark regenerates one row of DESIGN.md §3's experiment index.
+Workloads are laptop-scaled versions of the paper's: the 5->1 MSD circuit
+(bare 5-qubit logical level for dense statevector benches; Steane-encoded
+35-qubit for the MPS benches) with depolarizing noise, exactly the
+configuration the paper's Figs. 4-5 time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channels import NoiseModel, depolarizing, two_qubit_depolarizing
+from repro.circuits import Circuit
+from repro.execution import BackendSpec
+from repro.qec import msd_benchmark_circuit, msd_preparation_circuit, steane_code
+
+
+MSD_NOISE = (
+    NoiseModel()
+    .add_all_qubit_gate_noise("cz", two_qubit_depolarizing(0.01))
+    .add_all_qubit_gate_noise("sx", depolarizing(0.002))
+    .add_all_qubit_gate_noise("sy", depolarizing(0.002))
+    .add_all_qubit_gate_noise("sxdg", depolarizing(0.002))
+)
+
+
+@pytest.fixture(scope="session")
+def msd_bare():
+    """5-qubit logical-level MSD circuit with gate noise (Fig. 4 workload,
+    dense-feasible width)."""
+    return MSD_NOISE.apply(msd_benchmark_circuit(None)).freeze()
+
+
+@pytest.fixture(scope="session")
+def msd_steane_35q():
+    """35-qubit Steane-encoded MSD circuit (the paper's statevector
+    workload; run here on the MPS backend)."""
+    return MSD_NOISE.apply(msd_benchmark_circuit(steane_code())).freeze()
+
+
+@pytest.fixture(scope="session")
+def msd_prep_35q():
+    """35-qubit MSD preparation circuit (Fig. 5's workload shape)."""
+    model = NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(0.005))
+    return model.apply(msd_preparation_circuit(steane_code())).freeze()
+
+
+@pytest.fixture(scope="session")
+def sv_backend():
+    return BackendSpec.statevector()
+
+
+@pytest.fixture(scope="session")
+def mps_backend():
+    return BackendSpec.mps(max_bond=32)

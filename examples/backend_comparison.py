@@ -1,0 +1,99 @@
+"""Every backend, one circuit: the accuracy/cost landscape of §2.1-2.2.
+
+Runs the same noisy GHZ workload through all five simulation strategies
+and reports distribution agreement and timing:
+
+* density matrix        — exact, O(4^n), the ground truth;
+* statevector + PTSBE   — universal, O(2^n) per trajectory, batched;
+* MPS + PTSBE           — universal, poly(chi), batched (cached sampling);
+* conventional trajectories (Algorithm 1) — universal, one prep per shot;
+* Pauli-frame sampler   — Clifford+Pauli only, MHz bulk rate.
+
+Run:  python examples/backend_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    DensityMatrixBackend,
+    NoiseModel,
+    ProportionalPTS,
+    StatevectorBackend,
+    depolarizing,
+)
+from repro.backends.pauli_frame import FrameSampler
+from repro.circuits import library
+from repro.data.stats import empirical_distribution, total_variation_distance
+from repro.execution import BackendSpec, run_ptsbe
+from repro.rng import make_rng
+from repro.trajectory.baseline import TrajectorySimulator
+
+N = 5
+SHOTS = 30_000
+
+
+def main() -> None:
+    ideal = library.ghz(N, measure=True)
+    noise = NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(0.04))
+    circuit = noise.apply(ideal).freeze()
+    print(f"workload: {circuit}")
+
+    rows = []
+
+    t0 = time.perf_counter()
+    exact = DensityMatrixBackend(N).run(circuit).probabilities()
+    rows.append(("density matrix (exact)", time.perf_counter() - t0, 0.0))
+
+    t0 = time.perf_counter()
+    result = run_ptsbe(circuit, ProportionalPTS(total_shots=SHOTS, nsamples=3000), seed=5)
+    dist = result.shot_table().empirical_distribution(len(exact))
+    rows.append(
+        ("statevector + PTSBE", time.perf_counter() - t0, total_variation_distance(dist, exact))
+    )
+
+    t0 = time.perf_counter()
+    result = run_ptsbe(
+        circuit,
+        ProportionalPTS(total_shots=SHOTS, nsamples=3000),
+        backend=BackendSpec.mps(max_bond=8),
+        seed=5,
+    )
+    dist = result.shot_table().empirical_distribution(len(exact))
+    rows.append(
+        ("MPS + PTSBE (cached)", time.perf_counter() - t0, total_variation_distance(dist, exact))
+    )
+
+    t0 = time.perf_counter()
+    baseline = TrajectorySimulator(lambda: StatevectorBackend(N)).sample(
+        circuit, SHOTS // 10, seed=5
+    )
+    dist = empirical_distribution(baseline.bits, len(exact))
+    rows.append(
+        (
+            f"Algorithm-1 baseline ({SHOTS // 10} shots)",
+            time.perf_counter() - t0,
+            total_variation_distance(dist, exact),
+        )
+    )
+
+    t0 = time.perf_counter()
+    frame_bits = FrameSampler(circuit).sample(SHOTS, make_rng(5))
+    dist = empirical_distribution(frame_bits, len(exact))
+    rows.append(
+        ("Pauli-frame bulk sampler", time.perf_counter() - t0, total_variation_distance(dist, exact))
+    )
+
+    print(f"\n{'backend':<38} {'seconds':>9} {'TVD vs exact':>13}")
+    for name, dt, tvd in rows:
+        print(f"{name:<38} {dt:>9.3f} {tvd:>13.4f}")
+    print(
+        "\nNote the trade: the frame sampler is fastest but Clifford-only;"
+        "\nPTSBE keeps universality while batching away re-preparation —"
+        "\nexactly the gap the paper targets."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on environments whose setuptools lacks
+the ``bdist_wheel`` command (offline boxes without the ``wheel`` package);
+all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

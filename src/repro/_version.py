@@ -1,0 +1,3 @@
+"""Version metadata for the :mod:`repro` package."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,25 @@
+"""Analysis: convergence, speedup accounting, weighted estimators."""
+
+from repro.analysis.convergence import convergence_curve, distribution_error, exact_distribution
+from repro.analysis.estimators import (
+    Estimate,
+    bit_observable,
+    parity_observable,
+    pooled_estimate,
+    stratified_estimate,
+)
+from repro.analysis.speedup import SpeedupMeasurement, measure_speedup, speedup_curve
+
+__all__ = [
+    "convergence_curve",
+    "distribution_error",
+    "exact_distribution",
+    "Estimate",
+    "bit_observable",
+    "parity_observable",
+    "pooled_estimate",
+    "stratified_estimate",
+    "SpeedupMeasurement",
+    "measure_speedup",
+    "speedup_curve",
+]

@@ -1,0 +1,30 @@
+"""Simulation backends.
+
+Five backends, mirroring the paper's ecosystem:
+
+* :class:`~repro.backends.statevector.StatevectorBackend` — dense 2**n
+  simulator (the CUDA-Q ``nvidia`` backend stand-in);
+* :class:`~repro.backends.mps.MPSBackend` — truncated matrix-product-state
+  simulator (the ``tensornet`` stand-in) with naive vs. cached batched
+  sampling;
+* :class:`~repro.backends.density_matrix.DensityMatrixBackend` — exact
+  4**n reference used to validate trajectory convergence;
+* :class:`~repro.backends.stabilizer.StabilizerBackend` — Aaronson-
+  Gottesman CHP tableau (the Clifford/Stim-style comparator);
+* :mod:`repro.backends.pauli_frame` — Stim-style bulk Pauli-frame sampler
+  for Clifford + Pauli-noise circuits.
+"""
+
+from repro.backends.base import PureStateBackend
+from repro.backends.statevector import StatevectorBackend
+from repro.backends.density_matrix import DensityMatrixBackend
+from repro.backends.mps import MPSBackend
+from repro.backends.stabilizer import StabilizerBackend
+
+__all__ = [
+    "PureStateBackend",
+    "StatevectorBackend",
+    "DensityMatrixBackend",
+    "MPSBackend",
+    "StabilizerBackend",
+]

@@ -1,0 +1,113 @@
+"""MPS shot sampling: naive per-shot vs. cached batched.
+
+This module is the tensor-network half of the paper's contribution in
+miniature.  Fig. 5's observation is that "the current sampling algorithm
+for tensor networks requires nearly all of the tensor network contraction
+process to reoccur for each sample", and that caching partial-contraction
+intermediates lets large shot batches be drawn cheaply.  Here:
+
+* :func:`sample_naive` re-computes the right-environment chain for *every
+  shot* — the per-shot cost is ``O(n * chi**3)``, dominated by contraction,
+  mimicking the unoptimized path;
+* :func:`compute_right_environments` + :func:`sample_cached` compute the
+  chain **once** and then draw all shots with a fully vectorized
+  conditional sweep of cost ``O(n * m * chi**2)`` total.
+
+Both produce identically distributed shots (verified against each other
+and against the statevector backend in ``tests/test_mps.py``).
+
+Sampling math: with right environments ``R[k]`` and a conditioned left
+vector ``l`` (the contraction of the already-fixed bits), the unnormalized
+probability of outcome ``i`` at site ``k`` is ``v_i R[k+1] v_i^dag`` with
+``v_i = l @ A[k][:, i, :]``; dividing by the sum over ``i`` gives the exact
+conditional distribution regardless of canonical form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import BackendError
+
+__all__ = ["compute_right_environments", "sample_cached", "sample_naive"]
+
+
+def compute_right_environments(tensors: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Right environment chain ``R[k]`` for ``k = 0..n`` (``R[n]`` is 1x1).
+
+    ``R[k] = sum_i A[k][:, i, :] R[k+1] A[k][:, i, :]^dag`` — the identity-
+    on-physical-legs transfer contraction from site ``k`` to the right edge.
+    """
+    n = len(tensors)
+    envs: List[np.ndarray] = [None] * (n + 1)  # type: ignore[list-item]
+    envs[n] = np.ones((1, 1), dtype=tensors[-1].dtype if n else np.complex128)
+    for k in range(n - 1, -1, -1):
+        a = tensors[k]
+        # (a i b), (b c) -> (a i c); then against conj (d i c) -> (a d)
+        tmp = np.tensordot(a, envs[k + 1], axes=([2], [0]))
+        envs[k] = np.tensordot(tmp, a.conj(), axes=([1, 2], [1, 2]))
+    return envs
+
+
+def sample_cached(
+    tensors: Sequence[np.ndarray],
+    envs: Sequence[np.ndarray],
+    num_shots: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``num_shots`` shots with one vectorized left-to-right sweep.
+
+    Returns ``(num_shots, n)`` uint8 bits, column ``k`` = site ``k``.
+    """
+    n = len(tensors)
+    if num_shots == 0:
+        return np.empty((0, n), dtype=np.uint8)
+    bits = np.empty((num_shots, n), dtype=np.uint8)
+    # Conditioned left vectors, one row per shot.
+    left = np.ones((num_shots, 1), dtype=np.complex128)
+    uniforms = rng.random((num_shots, n))
+    for k in range(n):
+        a = tensors[k]  # (Dl, 2, Dr)
+        # v[m, i, :] = left[m] @ a[:, i, :]
+        v = np.einsum("ma,aib->mib", left, a, optimize=True)
+        # p[m, i] = v[m,i,:] R v[m,i,:]^dag  (real, >= 0 up to float noise)
+        r = envs[k + 1]
+        rv = np.einsum("mib,bc->mic", v, r, optimize=True)
+        p = np.einsum("mic,mic->mi", rv, v.conj(), optimize=True).real
+        np.clip(p, 0.0, None, out=p)
+        total = p.sum(axis=1, keepdims=True)
+        # Degenerate rows (numerically dead branches) fall back to uniform.
+        dead = total[:, 0] <= 0
+        if np.any(dead):
+            p[dead] = 0.5
+            total[dead] = 1.0
+        p0 = p[:, 0] / total[:, 0]
+        choice = (uniforms[:, k] >= p0).astype(np.uint8)
+        bits[:, k] = choice
+        chosen_v = v[np.arange(num_shots), choice]  # (m, Dr)
+        chosen_p = p[np.arange(num_shots), choice]
+        # Renormalize the conditioned vector to keep magnitudes O(1).
+        scale = np.sqrt(np.maximum(chosen_p, 1e-300))
+        left = chosen_v / scale[:, None]
+    return bits
+
+
+def sample_naive(
+    tensors: Sequence[np.ndarray],
+    num_shots: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-shot sampling that redoes the contraction chain every shot.
+
+    Deliberately unoptimized (this is the *baseline* of Fig. 5): each shot
+    rebuilds the right environments — "nearly all of the tensor network
+    contraction process" — before its conditional sweep.
+    """
+    n = len(tensors)
+    bits = np.empty((num_shots, n), dtype=np.uint8)
+    for shot in range(num_shots):
+        envs = compute_right_environments(tensors)  # the redundant work
+        bits[shot] = sample_cached(tensors, envs, 1, rng)[0]
+    return bits

@@ -1,0 +1,203 @@
+"""Stim-style Pauli-frame bulk sampler for Clifford + Pauli-noise circuits.
+
+This is the "reference frame sampler [able] to efficiently bulk sample
+noisy simulation data at a rate of MHz" that paper §2.3 credits to Stim —
+the baseline whose restriction to Clifford circuits motivates PTSBE.
+
+Method (valid for circuits with *terminal* measurements, which is the
+library-wide deferred-measurement contract):
+
+1.  One tableau run of the ideal circuit maps the noiseless outcome
+    distribution, which for stabilizer circuits is uniform over an affine
+    subspace of GF(2)^k: a reference sample ``b_ref`` plus one generator
+    per random measurement (obtained by re-running with that outcome
+    forced to 1).
+2.  Noise is handled entirely by Pauli *frames*: an (m, n) pair of X/Z bit
+    matrices, one row per shot, propagated through the Clifford gates with
+    O(1) column updates and XOR-ed with vectorized per-site error draws.
+3.  A shot's outcome is ``b_ref XOR (random combination of generators)
+    XOR frame_x[measured qubits]`` — a frame X component anticommutes with
+    the measured Z and flips the outcome.
+
+Everything after the (single) tableau analysis is pure vectorized NumPy
+over the shot axis, which is what makes this path orders of magnitude
+faster than per-shot state simulation — and why Clifford-only tools win
+whenever they are applicable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.stabilizer import StabilizerBackend, pauli_from_unitary
+from repro.channels.unitary_mixture import as_unitary_mixture
+from repro.circuits.circuit import Circuit
+from repro.circuits.operations import GateOp, MeasureOp, NoiseOp
+from repro.errors import BackendError
+
+__all__ = ["FrameSampler", "frame_sample"]
+
+
+@dataclass
+class _NoiseSite:
+    """Pre-analyzed Pauli-mixture site: per-branch frame bit patterns."""
+
+    op_index: int
+    qubits: Tuple[int, ...]
+    probs: np.ndarray  # (branches,)
+    x_patterns: np.ndarray  # (branches, n) uint8
+    z_patterns: np.ndarray  # (branches, n) uint8
+
+
+class FrameSampler:
+    """Compiled bulk sampler for one Clifford + Pauli-noise circuit."""
+
+    def __init__(self, circuit: Circuit):
+        if not circuit.frozen:
+            raise BackendError("FrameSampler requires a frozen circuit")
+        self.circuit = circuit
+        self.num_qubits = circuit.num_qubits
+        self.measured_qubits = list(circuit.measured_qubits)
+        if not self.measured_qubits:
+            raise BackendError("FrameSampler requires at least one measurement")
+        self._analyze_ideal()
+        self._analyze_noise()
+
+    # ------------------------------------------------------------------ #
+    # one-time tableau analysis of the ideal circuit
+    # ------------------------------------------------------------------ #
+    def _ideal_run(self, forces: Dict[int, int]) -> Tuple[List[int], List[bool]]:
+        backend = StabilizerBackend(self.num_qubits)
+        for op in self.circuit:
+            if isinstance(op, GateOp):
+                backend.apply_gate_by_name(op.gate.name, op.qubits)
+            # NoiseOps ignored in the ideal pass; MeasureOps deferred.
+        # Force every random measurement (default 0) so no rng is needed.
+        full_forces = {i: forces.get(i, 0) for i in range(len(self.measured_qubits))}
+        return backend.measure_many(self.measured_qubits, forces=full_forces)
+
+    def _analyze_ideal(self) -> None:
+        reference, random_flags = self._ideal_run({})
+        self.reference = np.array(reference, dtype=np.uint8)
+        self.random_positions = [i for i, f in enumerate(random_flags) if f]
+        generators = []
+        for pos in self.random_positions:
+            flipped, _ = self._ideal_run({pos: 1})
+            generators.append(np.array(flipped, dtype=np.uint8) ^ self.reference)
+        self.generators = (
+            np.array(generators, dtype=np.uint8)
+            if generators
+            else np.zeros((0, len(self.measured_qubits)), dtype=np.uint8)
+        )
+
+    # ------------------------------------------------------------------ #
+    # one-time noise-site compilation
+    # ------------------------------------------------------------------ #
+    def _analyze_noise(self) -> None:
+        self.sites: List[_NoiseSite] = []
+        for op_index, op in enumerate(self.circuit):
+            if not isinstance(op, NoiseOp):
+                continue
+            mixture = as_unitary_mixture(op.channel)
+            if mixture is None:
+                raise BackendError(
+                    f"channel {op.channel.name!r} is not a Pauli mixture; the frame "
+                    "sampler has the Stim restriction (Clifford + Pauli noise)"
+                )
+            branches = len(mixture.probs)
+            xpat = np.zeros((branches, self.num_qubits), dtype=np.uint8)
+            zpat = np.zeros((branches, self.num_qubits), dtype=np.uint8)
+            for b, unitary in enumerate(mixture.unitaries):
+                local = pauli_from_unitary(unitary, len(op.qubits))
+                if local is None:
+                    raise BackendError(
+                        f"branch {b} of {op.channel.name!r} is not a Pauli string"
+                    )
+                for pos, q in enumerate(op.qubits):
+                    xpat[b, q] = local.x[pos]
+                    zpat[b, q] = local.z[pos]
+            self.sites.append(
+                _NoiseSite(
+                    op_index=op_index,
+                    qubits=op.qubits,
+                    probs=np.asarray(mixture.probs, dtype=np.float64),
+                    x_patterns=xpat,
+                    z_patterns=zpat,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # bulk sampling
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _propagate_gate(name: str, qubits: Sequence[int], fx: np.ndarray, fz: np.ndarray) -> None:
+        """Conjugate all shot frames through one Clifford gate (in place)."""
+        name = name.lower()
+        if name in ("i", "x", "y", "z"):
+            return  # Paulis commute with Pauli frames up to irrelevant phase
+        if name == "h":
+            q = qubits[0]
+            fx[:, q], fz[:, q] = fz[:, q].copy(), fx[:, q].copy()
+        elif name in ("s", "sdg"):
+            q = qubits[0]
+            fz[:, q] ^= fx[:, q]
+        elif name in ("sx", "sxdg"):
+            q = qubits[0]
+            fx[:, q] ^= fz[:, q]
+        elif name in ("sy", "sydg"):
+            q = qubits[0]
+            fx[:, q], fz[:, q] = fz[:, q].copy(), fx[:, q].copy()
+        elif name == "cx":
+            c, t = qubits
+            fx[:, t] ^= fx[:, c]
+            fz[:, c] ^= fz[:, t]
+        elif name == "cz":
+            a, b = qubits
+            fz[:, b] ^= fx[:, a]
+            fz[:, a] ^= fx[:, b]
+        elif name == "swap":
+            a, b = qubits
+            fx[:, [a, b]] = fx[:, [b, a]]
+            fz[:, [a, b]] = fz[:, [b, a]]
+        else:
+            raise BackendError(f"gate {name!r} unsupported by the frame sampler")
+
+    def sample(self, num_shots: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``(num_shots, k)`` measurement bits for the noisy circuit."""
+        m = num_shots
+        n = self.num_qubits
+        fx = np.zeros((m, n), dtype=np.uint8)
+        fz = np.zeros((m, n), dtype=np.uint8)
+        site_iter = iter(self.sites)
+        next_site = next(site_iter, None)
+        for op_index, op in enumerate(self.circuit):
+            if isinstance(op, GateOp):
+                self._propagate_gate(op.gate.name, op.qubits, fx, fz)
+            elif isinstance(op, NoiseOp):
+                assert next_site is not None and next_site.op_index == op_index
+                site = next_site
+                next_site = next(site_iter, None)
+                # Vectorized branch draw for all shots at this site.
+                cum = np.cumsum(site.probs)
+                cum[-1] = 1.0
+                draws = np.searchsorted(cum, rng.random(m), side="right")
+                fx ^= site.x_patterns[draws]
+                fz ^= site.z_patterns[draws]
+        # Ideal randomness: uniform combination of affine generators.
+        out = np.broadcast_to(self.reference, (m, len(self.measured_qubits))).copy()
+        if len(self.random_positions):
+            coeffs = rng.integers(0, 2, size=(m, len(self.random_positions)), dtype=np.uint8)
+            out ^= (coeffs @ self.generators) & 1
+        # Frame X components flip terminal Z measurements.
+        out ^= fx[:, self.measured_qubits]
+        return out
+
+
+def frame_sample(
+    circuit: Circuit, num_shots: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One-call convenience wrapper: compile + sample."""
+    return FrameSampler(circuit).sample(num_shots, rng)

@@ -1,0 +1,48 @@
+"""Quantum channels: Kraus operators, standard noise, noise models.
+
+This package implements the error formalism of paper §2.2: channels as sets
+of Kraus operators satisfying the CPTP condition, automatic detection of
+unitary-mixture channels (``K_i = sqrt(p_i) U_i``, CUDA-Q's fast path), the
+standard noise menagerie, Pauli-string algebra (used for twirling and the
+stabilizer machinery), and :class:`~repro.channels.noise_model.NoiseModel`
+— the rule set binding channels to circuit operations.
+"""
+
+from repro.channels.kraus import KrausChannel
+from repro.channels.unitary_mixture import UnitaryMixture, as_unitary_mixture
+from repro.channels.standard import (
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    generalized_amplitude_damping,
+    pauli_channel,
+    phase_damping,
+    phase_flip,
+    reset_channel,
+    two_qubit_depolarizing,
+)
+from repro.channels.pauli import (
+    PauliString,
+    all_pauli_labels,
+    pauli_string_matrix,
+)
+from repro.channels.noise_model import NoiseModel
+
+__all__ = [
+    "KrausChannel",
+    "UnitaryMixture",
+    "as_unitary_mixture",
+    "depolarizing",
+    "two_qubit_depolarizing",
+    "bit_flip",
+    "phase_flip",
+    "pauli_channel",
+    "amplitude_damping",
+    "generalized_amplitude_damping",
+    "phase_damping",
+    "reset_channel",
+    "PauliString",
+    "pauli_string_matrix",
+    "all_pauli_labels",
+    "NoiseModel",
+]

@@ -1,0 +1,159 @@
+"""Noise models: rules binding channels to circuit operations.
+
+A :class:`NoiseModel` is how users declare "every CX is followed by
+two-qubit depolarizing at 1%, every measurement is preceded by a bit flip
+at 0.5%" — the noise-model lookup of paper Algorithm 1, line 3
+(``noiseChannel <- lookUp(noiseModel, operator)``).
+
+Binding rules, in increasing specificity (all matching rules fire):
+
+* ``add_all_qubit_gate_noise(gate_name, channel)`` — after every instance
+  of the named gate, on its qubits;
+* ``add_gate_noise(gate_name, qubits, channel)`` — only when the gate acts
+  on exactly those qubits;
+* ``add_idle_noise(channel)`` — per-moment noise on idle qubits;
+* ``add_preparation_noise(channel)`` / ``add_measurement_noise(channel)``
+  — boundary noise on every qubit.
+
+``NoiseModel.apply(circuit)`` produces the noisy circuit (gates interleaved
+with :class:`~repro.circuits.operations.NoiseOp` attachment points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.channels.kraus import KrausChannel
+from repro.circuits.circuit import Circuit
+from repro.circuits.moments import schedule_moments
+from repro.circuits.operations import GateOp, MeasureOp, NoiseOp
+from repro.errors import NoiseModelError
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass
+class _GateRule:
+    gate_name: str
+    channel: KrausChannel
+    qubits: Optional[Tuple[int, ...]]  # None = any qubits
+
+
+class NoiseModel:
+    """A set of channel-binding rules applied to circuits."""
+
+    def __init__(self, name: str = "noise_model"):
+        self.name = name
+        self._gate_rules: List[_GateRule] = []
+        self._prep_channel: Optional[KrausChannel] = None
+        self._meas_channel: Optional[KrausChannel] = None
+        self._idle_channel: Optional[KrausChannel] = None
+
+    # ------------------------------------------------------------------ #
+    # rule construction
+    # ------------------------------------------------------------------ #
+    def add_all_qubit_gate_noise(self, gate_name: str, channel: KrausChannel) -> "NoiseModel":
+        """Attach ``channel`` after every instance of ``gate_name``.
+
+        Single-qubit channels bound to multi-qubit gates fan out to each
+        qubit of the gate (the usual per-wire depolarizing convention);
+        a channel of matching arity attaches once to the full qubit tuple.
+        """
+        self._gate_rules.append(_GateRule(gate_name.lower(), channel, None))
+        return self
+
+    def add_gate_noise(
+        self, gate_name: str, qubits: Sequence[int], channel: KrausChannel
+    ) -> "NoiseModel":
+        """Attach ``channel`` after ``gate_name`` on exactly ``qubits``."""
+        self._gate_rules.append(_GateRule(gate_name.lower(), channel, tuple(qubits)))
+        return self
+
+    def add_preparation_noise(self, channel: KrausChannel) -> "NoiseModel":
+        """Attach single-qubit ``channel`` to every qubit at circuit start."""
+        if channel.num_qubits != 1:
+            raise NoiseModelError("preparation noise must be a single-qubit channel")
+        self._prep_channel = channel
+        return self
+
+    def add_measurement_noise(self, channel: KrausChannel) -> "NoiseModel":
+        """Attach single-qubit ``channel`` to each measured qubit, pre-readout."""
+        if channel.num_qubits != 1:
+            raise NoiseModelError("measurement noise must be a single-qubit channel")
+        self._meas_channel = channel
+        return self
+
+    def add_idle_noise(self, channel: KrausChannel) -> "NoiseModel":
+        """Attach single-qubit ``channel`` to idle qubits in each moment."""
+        if channel.num_qubits != 1:
+            raise NoiseModelError("idle noise must be a single-qubit channel")
+        self._idle_channel = channel
+        return self
+
+    # ------------------------------------------------------------------ #
+    # application
+    # ------------------------------------------------------------------ #
+    def channels_for(self, op: GateOp) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
+        """All (channel, target-qubits) pairs the rules bind to ``op``."""
+        out: List[Tuple[KrausChannel, Tuple[int, ...]]] = []
+        for rule in self._gate_rules:
+            if rule.gate_name != op.gate.name.lower():
+                continue
+            if rule.qubits is not None and rule.qubits != op.qubits:
+                continue
+            ch = rule.channel
+            if ch.num_qubits == len(op.qubits):
+                out.append((ch, op.qubits))
+            elif ch.num_qubits == 1:
+                out.extend((ch, (q,)) for q in op.qubits)
+            else:
+                raise NoiseModelError(
+                    f"rule for {rule.gate_name!r}: channel arity {ch.num_qubits} "
+                    f"incompatible with gate on {len(op.qubits)} qubit(s)"
+                )
+        return out
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        """Build the noisy circuit (not yet frozen)."""
+        noisy = Circuit(circuit.num_qubits, name=f"{circuit.name}_noisy")
+        if self._prep_channel is not None:
+            for q in range(circuit.num_qubits):
+                noisy.attach(self._prep_channel, q)
+
+        if self._idle_channel is not None:
+            # Idle noise needs moment structure: walk moments, pad idles.
+            for moment in schedule_moments(circuit):
+                busy = set()
+                for op in moment:
+                    busy.update(op.qubits)
+                    self._emit(noisy, op)
+                for q in range(circuit.num_qubits):
+                    if q not in busy:
+                        noisy.attach(self._idle_channel, q)
+        else:
+            for op in circuit:
+                self._emit(noisy, op)
+        return noisy
+
+    def _emit(self, noisy: Circuit, op) -> None:
+        if isinstance(op, GateOp):
+            noisy.gate(op.gate, *op.qubits)
+            for channel, qubits in self.channels_for(op):
+                noisy.attach(channel, *qubits)
+        elif isinstance(op, MeasureOp):
+            if self._meas_channel is not None:
+                for q in op.qubits:
+                    noisy.attach(self._meas_channel, q)
+            noisy.append(MeasureOp(op.qubits, key=op.key))
+        elif isinstance(op, NoiseOp):
+            noisy.attach(op.channel, *op.qubits)
+        else:  # pragma: no cover - defensive
+            raise NoiseModelError(f"unknown operation type {type(op)!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"NoiseModel({self.name!r}, gate_rules={len(self._gate_rules)}, "
+            f"prep={self._prep_channel is not None}, meas={self._meas_channel is not None}, "
+            f"idle={self._idle_channel is not None})"
+        )

@@ -1,0 +1,150 @@
+"""The standard noise-channel menagerie.
+
+Unitary mixtures (state-independent probabilities — Algorithm 1's fast
+path): depolarizing, bit/phase flip, general Pauli channels, two-qubit
+depolarizing.  Genuinely non-unitary channels (exercising the
+state-dependent branch): amplitude damping, generalized amplitude damping,
+phase damping (equivalent to a phase flip but expressed in non-unitary
+Kraus form here, deliberately, to test the general path), and reset.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.channels.kraus import KrausChannel
+from repro.channels.pauli import pauli_string_matrix
+from repro.errors import ChannelError
+
+__all__ = [
+    "depolarizing",
+    "two_qubit_depolarizing",
+    "bit_flip",
+    "phase_flip",
+    "pauli_channel",
+    "amplitude_damping",
+    "generalized_amplitude_damping",
+    "phase_damping",
+    "reset_channel",
+]
+
+_I = np.eye(2, dtype=np.complex128)
+_X = pauli_string_matrix("X")
+_Y = pauli_string_matrix("Y")
+_Z = pauli_string_matrix("Z")
+
+
+def _check_prob(p: float, name: str, upper: float = 1.0) -> float:
+    if not (0.0 <= p <= upper):
+        raise ChannelError(f"{name}: probability {p} outside [0, {upper}]")
+    return float(p)
+
+
+def depolarizing(p: float) -> KrausChannel:
+    """Single-qubit depolarizing channel.
+
+    With probability ``p`` one of X, Y, Z is applied uniformly (the paper's
+    canonical example of a unitary mixture of Pauli unitaries).
+    """
+    _check_prob(p, "depolarizing")
+    ops = [math.sqrt(1 - p) * _I] if p < 1 else []
+    if p > 0:
+        ops += [math.sqrt(p / 3) * P for P in (_X, _Y, _Z)]
+    return KrausChannel(f"depolarizing({p:g})", ops, check=False)
+
+
+def two_qubit_depolarizing(p: float) -> KrausChannel:
+    """Two-qubit depolarizing: uniform over the 15 non-identity Paulis."""
+    _check_prob(p, "two_qubit_depolarizing")
+    from repro.channels.pauli import all_pauli_labels
+
+    labels = [lab for lab in all_pauli_labels(2) if lab != "II"]
+    ops = [math.sqrt(1 - p) * np.eye(4, dtype=np.complex128)] if p < 1 else []
+    if p > 0:
+        ops += [math.sqrt(p / 15) * pauli_string_matrix(lab) for lab in labels]
+    return KrausChannel(f"depolarizing2({p:g})", ops, check=False)
+
+
+def bit_flip(p: float) -> KrausChannel:
+    """X with probability ``p``."""
+    _check_prob(p, "bit_flip")
+    ops = [math.sqrt(1 - p) * _I] if p < 1 else []
+    if p > 0:
+        ops.append(math.sqrt(p) * _X)
+    return KrausChannel(f"bit_flip({p:g})", ops, check=False)
+
+
+def phase_flip(p: float) -> KrausChannel:
+    """Z with probability ``p``."""
+    _check_prob(p, "phase_flip")
+    ops = [math.sqrt(1 - p) * _I] if p < 1 else []
+    if p > 0:
+        ops.append(math.sqrt(p) * _Z)
+    return KrausChannel(f"phase_flip({p:g})", ops, check=False)
+
+
+def pauli_channel(px: float, py: float, pz: float) -> KrausChannel:
+    """General single-qubit Pauli channel with independent X/Y/Z rates."""
+    for v, nm in ((px, "px"), (py, "py"), (pz, "pz")):
+        _check_prob(v, f"pauli_channel {nm}")
+    p0 = 1.0 - px - py - pz
+    if p0 < -1e-12:
+        raise ChannelError(f"pauli_channel: rates sum to {px+py+pz} > 1")
+    p0 = max(p0, 0.0)
+    ops = []
+    for prob, mat in ((p0, _I), (px, _X), (py, _Y), (pz, _Z)):
+        if prob > 0:
+            ops.append(math.sqrt(prob) * mat)
+    return KrausChannel(f"pauli({px:g},{py:g},{pz:g})", ops, check=False)
+
+
+def amplitude_damping(gamma: float) -> KrausChannel:
+    """T1 decay: |1> relaxes to |0> with probability ``gamma``.
+
+    *Not* a unitary mixture — exercises the state-dependent trajectory
+    branch of paper Algorithm 1.
+    """
+    _check_prob(gamma, "amplitude_damping")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=np.complex128)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=np.complex128)
+    return KrausChannel(f"amp_damp({gamma:g})", [k0, k1], check=False)
+
+
+def generalized_amplitude_damping(gamma: float, p_excited: float) -> KrausChannel:
+    """Finite-temperature T1: decay toward a thermal mixture."""
+    _check_prob(gamma, "generalized_amplitude_damping gamma")
+    _check_prob(p_excited, "generalized_amplitude_damping p_excited")
+    pg = 1.0 - p_excited
+    k0 = math.sqrt(pg) * np.array([[1, 0], [0, math.sqrt(1 - gamma)]])
+    k1 = math.sqrt(pg) * np.array([[0, math.sqrt(gamma)], [0, 0]])
+    k2 = math.sqrt(p_excited) * np.array([[math.sqrt(1 - gamma), 0], [0, 1]])
+    k3 = math.sqrt(p_excited) * np.array([[0, 0], [math.sqrt(gamma), 0]])
+    ops = [k for k in (k0, k1, k2, k3) if np.any(np.abs(k) > 0)]
+    return KrausChannel(f"gad({gamma:g},{p_excited:g})", ops, check=False)
+
+
+def phase_damping(lam: float) -> KrausChannel:
+    """Pure dephasing in explicitly non-unitary Kraus form.
+
+    Physically equivalent to ``phase_flip((1 - sqrt(1-lam))/2)`` but the
+    Kraus operators here are *not* scaled unitaries, so unitary-mixture
+    detection correctly rejects it — used to test that code path.
+    """
+    _check_prob(lam, "phase_damping")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - lam)]], dtype=np.complex128)
+    k1 = np.array([[0, 0], [0, math.sqrt(lam)]], dtype=np.complex128)
+    return KrausChannel(f"phase_damp({lam:g})", [k0, k1], check=False)
+
+
+def reset_channel(p: float) -> KrausChannel:
+    """With probability ``p`` the qubit is reset to |0>."""
+    _check_prob(p, "reset_channel")
+    sq = math.sqrt(p)
+    k0 = math.sqrt(1 - p) * _I
+    k1 = sq * np.array([[1, 0], [0, 0]], dtype=np.complex128)
+    k2 = sq * np.array([[0, 1], [0, 0]], dtype=np.complex128)
+    ops = [k0, k1, k2] if p > 0 else [k0]
+    return KrausChannel(f"reset({p:g})", ops, check=False)

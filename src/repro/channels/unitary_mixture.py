@@ -1,0 +1,79 @@
+"""Unitary-mixture channel detection (CUDA-Q pre-existing feature #2).
+
+A channel is a *unitary mixture* when every Kraus operator is a scaled
+unitary, ``K_i = sqrt(p_i) U_i``.  For such channels the trajectory-branch
+probabilities ``<psi|K_i^dag K_i|psi> = p_i`` are state-independent, so the
+simulator can skip the per-step expectation-value computation (paper
+Algorithm 1's ``unitaryMixture`` branch) and — crucially for PTS — the
+joint probability of an entire pre-sampled trajectory is exactly the
+product of per-site ``p_i``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.channels.kraus import KrausChannel
+from repro.errors import ChannelError
+
+__all__ = ["UnitaryMixture", "as_unitary_mixture", "is_unitary_mixture"]
+
+
+class UnitaryMixture:
+    """Decomposition of a channel into ``(p_i, U_i)`` pairs."""
+
+    __slots__ = ("channel", "probs", "unitaries")
+
+    def __init__(self, channel: KrausChannel, probs: Tuple[float, ...], unitaries: Tuple[np.ndarray, ...]):
+        self.channel = channel
+        self.probs = probs
+        self.unitaries = unitaries
+
+    def __len__(self) -> int:
+        return len(self.probs)
+
+    def __repr__(self) -> str:
+        return f"UnitaryMixture({self.channel.name!r}, branches={len(self.probs)})"
+
+
+def _scaled_unitary_factor(kraus: np.ndarray, atol: float) -> Optional[float]:
+    """If ``K = sqrt(p) U`` with ``U`` unitary, return ``p``; else None.
+
+    ``K^dag K = p I`` is necessary and sufficient.
+    """
+    gram = kraus.conj().T @ kraus
+    p = float(np.real(gram[0, 0]))
+    if p < atol:
+        return None
+    if np.allclose(gram, p * np.eye(gram.shape[0]), atol=atol):
+        return p
+    return None
+
+
+def as_unitary_mixture(channel: KrausChannel, atol: float = 1e-9) -> Optional[UnitaryMixture]:
+    """Detect and decompose a unitary-mixture channel.
+
+    Returns ``None`` when any Kraus operator is not a scaled unitary (e.g.
+    amplitude damping).  This mirrors CUDA-Q's automatic channel analysis.
+    """
+    probs: List[float] = []
+    unitaries: List[np.ndarray] = []
+    for k in channel.kraus_ops:
+        p = _scaled_unitary_factor(k, atol)
+        if p is None:
+            return None
+        probs.append(p)
+        unitaries.append(k / np.sqrt(p))
+    total = sum(probs)
+    if abs(total - 1.0) > 1e-6:
+        raise ChannelError(
+            f"channel {channel.name!r}: scaled-unitary probabilities sum to {total}, not 1"
+        )
+    return UnitaryMixture(channel, tuple(probs), tuple(unitaries))
+
+
+def is_unitary_mixture(channel: KrausChannel, atol: float = 1e-9) -> bool:
+    """Predicate form of :func:`as_unitary_mixture`."""
+    return as_unitary_mixture(channel, atol) is not None

@@ -1,0 +1,71 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`~repro.circuits.circuit.Circuit` is an ordered list of
+:class:`~repro.circuits.operations.Operation` objects — coherent gates
+(solid green markers of paper Fig. 2) and noise-channel attachment points
+(hollow blue markers).  Noise is *not* sampled here; the circuit only
+declares where channels act.  Sampling is the job of
+:mod:`repro.trajectory` (conventional Algorithm 1) or :mod:`repro.pts`
+(Pre-Trajectory Sampling).
+"""
+
+from repro.circuits.gates import (
+    Gate,
+    CNOT,
+    CX,
+    CZ,
+    H,
+    I,
+    RX,
+    RY,
+    RZ,
+    S,
+    SDG,
+    SWAP,
+    SX,
+    SXDG,
+    SY,
+    SYDG,
+    T,
+    TDG,
+    X,
+    Y,
+    Z,
+    gate_by_name,
+)
+from repro.circuits.operations import GateOp, MeasureOp, NoiseOp, Operation
+from repro.circuits.circuit import Circuit
+from repro.circuits.moments import schedule_moments
+from repro.circuits import library
+
+__all__ = [
+    "Gate",
+    "Circuit",
+    "Operation",
+    "GateOp",
+    "NoiseOp",
+    "MeasureOp",
+    "schedule_moments",
+    "library",
+    "gate_by_name",
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "SXDG",
+    "SY",
+    "SYDG",
+    "RX",
+    "RY",
+    "RZ",
+    "CX",
+    "CNOT",
+    "CZ",
+    "SWAP",
+]

@@ -1,0 +1,272 @@
+"""Gate definitions and the standard gate library.
+
+Includes everything the paper's workloads need: the Pauli family, Clifford
+generators (H, S, CX, CZ, SWAP), the T gate for universality, rotation
+gates, and the square-root Paulis ``sqrt(X)``/``sqrt(Y)`` (and adjoints)
+that appear in the compiled 5->1 magic-state-distillation circuit of paper
+Fig. 3.
+
+A :class:`Gate` is immutable: a name, a unitary matrix, and an arity.
+Parameterized gates (``RX`` etc.) are factory functions returning fresh
+:class:`Gate` instances with the parameter recorded for provenance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import ATOL
+from repro.errors import GateError
+
+__all__ = [
+    "Gate",
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "SXDG",
+    "SY",
+    "SYDG",
+    "CX",
+    "CNOT",
+    "CZ",
+    "SWAP",
+    "CCX",
+    "RX",
+    "RY",
+    "RZ",
+    "U3",
+    "gate_by_name",
+    "controlled",
+]
+
+
+class Gate:
+    """An immutable unitary gate.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used by noise models to bind channels).
+    matrix:
+        Unitary matrix of shape ``(2**k, 2**k)``.
+    params:
+        Optional tuple of real parameters (for rotation gates).
+    check:
+        Verify unitarity on construction (disable only for speed-critical
+        trusted callers).
+    """
+
+    __slots__ = ("name", "matrix", "num_qubits", "params")
+
+    def __init__(
+        self,
+        name: str,
+        matrix: np.ndarray,
+        params: Tuple[float, ...] = (),
+        check: bool = True,
+    ):
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise GateError(f"gate {name!r}: matrix must be square, got {matrix.shape}")
+        dim = matrix.shape[0]
+        k = int(round(math.log2(dim)))
+        if 2**k != dim:
+            raise GateError(f"gate {name!r}: dimension {dim} is not a power of two")
+        if check and not np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-8):
+            raise GateError(f"gate {name!r}: matrix is not unitary")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "num_qubits", k)
+        object.__setattr__(self, "params", tuple(params))
+
+    def __setattr__(self, key, value):  # immutability
+        raise AttributeError("Gate is immutable")
+
+    def __reduce__(self):
+        # __slots__ plus the blocked __setattr__ defeat default pickling;
+        # rebuild through the constructor (skipping the unitarity check).
+        return (Gate, (self.name, self.matrix, self.params, False))
+
+    @property
+    def dim(self) -> int:
+        return self.matrix.shape[0]
+
+    def adjoint(self) -> "Gate":
+        """Return the adjoint (inverse) gate."""
+        name = self.name[:-2] if self.name.endswith("dg") else self.name + "dg"
+        return Gate(name, self.matrix.conj().T, self.params, check=False)
+
+    def power(self, exponent: float) -> "Gate":
+        """Matrix power via eigendecomposition (gate is unitary → normal)."""
+        vals, vecs = np.linalg.eig(self.matrix)
+        powered = (vecs * vals**exponent) @ np.linalg.inv(vecs)
+        return Gate(f"{self.name}^{exponent:g}", powered, self.params, check=False)
+
+    def is_clifford(self) -> bool:
+        """True when the gate maps Pauli strings to Pauli strings.
+
+        Checked numerically by conjugating each single-qubit Pauli on each
+        wire and testing whether the image is ±/±i a Pauli string.
+        """
+        from repro.channels.pauli import pauli_string_matrix, all_pauli_labels
+
+        k = self.num_qubits
+        for label in all_pauli_labels(k):
+            if label == "I" * k:
+                continue
+            p = pauli_string_matrix(label)
+            image = self.matrix @ p @ self.matrix.conj().T
+            if not _is_scaled_pauli(image, k):
+                return False
+        return True
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Gate)
+            and self.name == other.name
+            and self.params == other.params
+            and self.matrix.shape == other.matrix.shape
+            and bool(np.allclose(self.matrix, other.matrix, atol=ATOL))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.params, self.num_qubits))
+
+    def __repr__(self) -> str:
+        if self.params:
+            return f"Gate({self.name}, params={self.params})"
+        return f"Gate({self.name})"
+
+
+def _is_scaled_pauli(matrix: np.ndarray, k: int) -> bool:
+    from repro.channels.pauli import pauli_string_matrix, all_pauli_labels
+
+    for label in all_pauli_labels(k):
+        p = pauli_string_matrix(label)
+        # overlap = tr(P^dag M)/2^k; M is a scaled Pauli iff |overlap| == 1
+        # and all other overlaps vanish.  Testing closeness of M to c*P.
+        overlap = np.trace(p.conj().T @ matrix) / 2**k
+        if abs(abs(overlap) - 1.0) < 1e-8 and np.allclose(matrix, overlap * p, atol=1e-8):
+            return True
+    return False
+
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+I = Gate("i", np.eye(2), check=False)
+X = Gate("x", np.array([[0, 1], [1, 0]]), check=False)
+Y = Gate("y", np.array([[0, -1j], [1j, 0]]), check=False)
+Z = Gate("z", np.array([[1, 0], [0, -1]]), check=False)
+H = Gate("h", np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]]), check=False)
+S = Gate("s", np.array([[1, 0], [0, 1j]]), check=False)
+SDG = Gate("sdg", np.array([[1, 0], [0, -1j]]), check=False)
+T = Gate("t", np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]]), check=False)
+TDG = Gate("tdg", np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]]), check=False)
+
+#: sqrt(X): squares to X.  Appears throughout the compiled MSD circuit.
+SX = Gate("sx", 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]), check=False)
+SXDG = Gate("sxdg", 0.5 * np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]]), check=False)
+#: sqrt(Y): squares to Y.
+SY = Gate("sy", 0.5 * np.array([[1 + 1j, -1 - 1j], [1 + 1j, 1 + 1j]]), check=False)
+SYDG = Gate("sydg", 0.5 * np.array([[1 - 1j, 1 - 1j], [-1 + 1j, 1 - 1j]]), check=False)
+
+CX = Gate(
+    "cx",
+    np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 0],
+        ]
+    ),
+    check=False,
+)
+CNOT = CX
+CZ = Gate("cz", np.diag([1, 1, 1, -1]).astype(complex), check=False)
+SWAP = Gate(
+    "swap",
+    np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+        ]
+    ),
+    check=False,
+)
+CCX = Gate("ccx", np.eye(8)[:, [0, 1, 2, 3, 4, 5, 7, 6]].astype(complex), check=False)
+
+
+def RX(theta: float) -> Gate:
+    """Rotation about X: ``exp(-i theta X / 2)``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return Gate("rx", np.array([[c, -1j * s], [-1j * s, c]]), params=(theta,), check=False)
+
+
+def RY(theta: float) -> Gate:
+    """Rotation about Y: ``exp(-i theta Y / 2)``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return Gate("ry", np.array([[c, -s], [s, c]]), params=(theta,), check=False)
+
+
+def RZ(theta: float) -> Gate:
+    """Rotation about Z: ``exp(-i theta Z / 2)``."""
+    phase = np.exp(-0.5j * theta)
+    return Gate("rz", np.diag([phase, phase.conjugate()]), params=(theta,), check=False)
+
+
+def U3(theta: float, phi: float, lam: float) -> Gate:
+    """General single-qubit unitary (OpenQASM u3 convention)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    mat = np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ]
+    )
+    return Gate("u3", mat, params=(theta, phi, lam), check=False)
+
+
+def controlled(gate: Gate, num_controls: int = 1) -> Gate:
+    """Build a controlled version of ``gate`` (controls are the top wires)."""
+    if num_controls < 1:
+        raise GateError("num_controls must be >= 1")
+    dim = gate.dim
+    total = dim * 2**num_controls
+    mat = np.eye(total, dtype=np.complex128)
+    mat[total - dim :, total - dim :] = gate.matrix
+    return Gate("c" * num_controls + gate.name, mat, gate.params, check=False)
+
+
+_FIXED: Dict[str, Gate] = {
+    g.name: g
+    for g in (I, X, Y, Z, H, S, SDG, T, TDG, SX, SXDG, SY, SYDG, CX, CZ, SWAP, CCX)
+}
+_PARAMETRIC: Dict[str, Callable[..., Gate]] = {"rx": RX, "ry": RY, "rz": RZ, "u3": U3}
+
+
+def gate_by_name(name: str, *params: float) -> Gate:
+    """Look up a gate from the standard library by name.
+
+    Fixed gates take no parameters; ``rx/ry/rz/u3`` require them.
+    """
+    lname = name.lower()
+    if lname in _FIXED:
+        if params:
+            raise GateError(f"gate {name!r} takes no parameters")
+        return _FIXED[lname]
+    if lname in _PARAMETRIC:
+        return _PARAMETRIC[lname](*params)
+    raise GateError(f"unknown gate {name!r}")

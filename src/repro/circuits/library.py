@@ -1,0 +1,115 @@
+"""Prebuilt circuits used by tests, examples and benchmarks.
+
+Besides generic workloads (GHZ, QFT, random brickwork) this module provides
+:func:`noisy` — the convenience wrapper that interleaves a
+:class:`~repro.channels.noise_model.NoiseModel` into an ideal circuit,
+producing the "arbitrary noisy circuit" that enters the PTSBE pipeline of
+paper Fig. 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import CX, CZ, H, RX, RY, RZ, Gate, T, X
+from repro.errors import CircuitError
+
+__all__ = [
+    "ghz",
+    "qft",
+    "random_brickwork",
+    "mirror_benchmark",
+    "noisy",
+]
+
+
+def ghz(num_qubits: int, measure: bool = False) -> Circuit:
+    """GHZ state preparation: H on qubit 0, CX ladder."""
+    circ = Circuit(num_qubits, name=f"ghz_{num_qubits}")
+    circ.h(0)
+    for q in range(num_qubits - 1):
+        circ.cx(q, q + 1)
+    if measure:
+        circ.measure_all()
+    return circ
+
+
+def qft(num_qubits: int, measure: bool = False) -> Circuit:
+    """Quantum Fourier transform (with final qubit-reversal swaps)."""
+    circ = Circuit(num_qubits, name=f"qft_{num_qubits}")
+    for q in range(num_qubits):
+        circ.h(q)
+        for j in range(q + 1, num_qubits):
+            angle = math.pi / 2 ** (j - q)
+            # Controlled phase, decomposed as rz/cx/rz/cx/rz.
+            circ.rz(angle / 2, q)
+            circ.cx(j, q)
+            circ.rz(-angle / 2, q)
+            circ.cx(j, q)
+            circ.rz(angle / 2, j)
+    for q in range(num_qubits // 2):
+        circ.swap(q, num_qubits - 1 - q)
+    if measure:
+        circ.measure_all()
+    return circ
+
+
+def random_brickwork(
+    num_qubits: int,
+    depth: int,
+    rng: Optional[np.random.Generator] = None,
+    two_qubit_gate: Gate = CZ,
+    measure: bool = False,
+) -> Circuit:
+    """Random brickwork circuit: layers of random 1q rotations + 2q gates.
+
+    The standard hard-to-simulate workload; entanglement grows linearly with
+    depth, which is what stresses the MPS backend's truncation.
+    """
+    if depth < 0:
+        raise CircuitError("depth must be >= 0")
+    rng = rng if rng is not None else np.random.default_rng()
+    circ = Circuit(num_qubits, name=f"brickwork_{num_qubits}x{depth}")
+    for layer in range(depth):
+        for q in range(num_qubits):
+            circ.rx(float(rng.uniform(0, 2 * math.pi)), q)
+            circ.rz(float(rng.uniform(0, 2 * math.pi)), q)
+        start = layer % 2
+        for q in range(start, num_qubits - 1, 2):
+            circ.gate(two_qubit_gate, q, q + 1)
+    if measure:
+        circ.measure_all()
+    return circ
+
+
+def mirror_benchmark(
+    num_qubits: int, depth: int, rng: Optional[np.random.Generator] = None
+) -> Circuit:
+    """Mirror circuit: U followed by U^dagger; ideal output is |0...0>.
+
+    Useful for validating noisy backends — any deviation from the all-zeros
+    shot is attributable to injected noise.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    half = random_brickwork(num_qubits, depth, rng=rng)
+    circ = Circuit(num_qubits, name=f"mirror_{num_qubits}x{depth}")
+    ops = list(half.coherent_ops)
+    for op in ops:
+        circ.append(op)
+    for op in reversed(ops):
+        circ.gate(op.gate.adjoint(), *op.qubits)
+    return circ
+
+
+def noisy(circuit: Circuit, noise_model) -> Circuit:
+    """Interleave a noise model into an ideal circuit.
+
+    Every gate op is followed by the channel(s) the model binds to it;
+    model-level state-preparation and measurement noise are inserted at the
+    boundaries.  Returns a *frozen* circuit ready for trajectory/PTS use.
+    """
+    return noise_model.apply(circuit).freeze()

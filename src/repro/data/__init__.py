@@ -1,0 +1,32 @@
+"""Data layer: provenance-labeled datasets, serialization, statistics.
+
+The end product of the paper's pipeline is "massive corpuses of noisy
+quantum data ... suitable for downstream tasks such as training an
+ML-based QEC decoder", with error provenance as supervised labels.
+:mod:`repro.data.dataset` builds those labeled datasets from PTSBE
+results; :mod:`repro.data.io` persists them; :mod:`repro.data.stats`
+provides the distribution statistics the evaluation figures use
+(total-variation distance, unique-shot fraction, chi-square tests).
+"""
+
+from repro.data.dataset import LabeledShotDataset, build_decoder_dataset
+from repro.data.io import load_dataset, save_dataset
+from repro.data.stats import (
+    chi_square_statistic,
+    empirical_distribution,
+    fidelity_distributions,
+    total_variation_distance,
+    unique_fraction,
+)
+
+__all__ = [
+    "LabeledShotDataset",
+    "build_decoder_dataset",
+    "save_dataset",
+    "load_dataset",
+    "total_variation_distance",
+    "fidelity_distributions",
+    "chi_square_statistic",
+    "unique_fraction",
+    "empirical_distribution",
+]

@@ -1,0 +1,170 @@
+"""Provenance-labeled shot datasets for decoder training.
+
+:class:`LabeledShotDataset` is the "programmable data collection engine"
+output the paper closes on: feature rows (syndrome bits) aligned with
+supervision labels derived from Kraus-level error provenance — "not a
+feature that was previously available for trajectory simulators" and
+impossible for hardware data (§2.3).
+
+:func:`build_decoder_dataset` specializes a PTSBE run on a
+syndrome-extraction circuit into the standard decoder-training format:
+``X = syndrome bits``, ``y = logical-frame flip`` computed from each
+trajectory's injected Pauli errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.operations import GateOp, NoiseOp
+from repro.errors import DataError
+from repro.execution.results import PTSBEResult
+from repro.qec.codes import CSSCode
+from repro.qec.syndrome import SyndromeLayout
+from repro.trajectory.events import TrajectoryRecord
+
+__all__ = ["LabeledShotDataset", "build_decoder_dataset"]
+
+
+@dataclass
+class LabeledShotDataset:
+    """Features + labels + per-shot provenance.
+
+    Attributes
+    ----------
+    features:
+        (m, f) uint8 — e.g. syndrome bits per shot.
+    labels:
+        (m,) integer labels — e.g. logical-flip class.
+    trajectory_ids:
+        (m,) alignment back to trajectory records.
+    records:
+        ``records[tid]`` is the provenance of trajectory ``tid``.
+    metadata:
+        Free-form experiment description.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    trajectory_ids: np.ndarray
+    records: Dict[int, TrajectoryRecord] = field(default_factory=dict)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.features = np.asarray(self.features, dtype=np.uint8)
+        self.labels = np.asarray(self.labels)
+        self.trajectory_ids = np.asarray(self.trajectory_ids, dtype=np.int64)
+        m = self.features.shape[0]
+        if self.labels.shape[0] != m or self.trajectory_ids.shape[0] != m:
+            raise DataError("features, labels and trajectory_ids must align")
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.features.shape[0])
+
+    def class_balance(self) -> Dict[int, float]:
+        values, counts = np.unique(self.labels, return_counts=True)
+        return {int(v): float(c / self.num_samples) for v, c in zip(values, counts)}
+
+    def split(self, train_fraction: float, rng: np.random.Generator) -> Tuple["LabeledShotDataset", "LabeledShotDataset"]:
+        """Shuffled train/test split preserving provenance alignment."""
+        if not (0.0 < train_fraction < 1.0):
+            raise DataError("train_fraction must be in (0, 1)")
+        m = self.num_samples
+        order = rng.permutation(m)
+        cut = int(round(train_fraction * m))
+        if cut == 0 or cut == m:
+            raise DataError("split produced an empty side")
+
+        def take(idx: np.ndarray) -> "LabeledShotDataset":
+            return LabeledShotDataset(
+                self.features[idx],
+                self.labels[idx],
+                self.trajectory_ids[idx],
+                self.records,
+                dict(self.metadata),
+            )
+
+        return take(order[:cut]), take(order[cut:])
+
+    def __repr__(self) -> str:
+        return (
+            f"LabeledShotDataset(samples={self.num_samples}, "
+            f"features={self.features.shape[1]}, classes={len(set(self.labels.tolist()))})"
+        )
+
+
+def _logical_flip_label(
+    record: TrajectoryRecord, circuit: Circuit, code: CSSCode
+) -> int:
+    """Did this trajectory's injected Paulis flip the logical Z frame?
+
+    Propagation-free label: for our syndrome workloads the injected
+    channels are Pauli mixtures applied directly on data qubits, so the
+    accumulated X-support on data qubits decides the logical-Z flip:
+    label 1 iff it anticommutes with logical Z and is not a stabilizer
+    action.  (The exact label for general circuits would conjugate each
+    Pauli through the downstream Cliffords; the syndrome workloads used
+    here attach noise after the encoder, where that propagation is
+    trivial for final-frame purposes.)
+    """
+    from repro.qec import gf2
+
+    x_support = np.zeros(code.n, dtype=np.uint8)
+    site_channels: Dict[int, NoiseOp] = {
+        op.site_id: op for op in circuit.noise_sites
+    }
+    for event in record.events:
+        op = site_channels[event.site_id]
+        kraus = op.channel.kraus_ops[event.kraus_index]
+        from repro.backends.stabilizer import pauli_from_unitary
+
+        local = pauli_from_unitary(kraus / np.linalg.norm(kraus) * np.sqrt(kraus.shape[0]), len(op.qubits))
+        if local is None:
+            raise DataError(
+                f"channel {op.channel.name!r} branch {event.kraus_index} is not Pauli; "
+                "logical-flip labels need Pauli noise"
+            )
+        for pos, q in enumerate(op.qubits):
+            if q < code.n:  # data qubits only
+                x_support[q] ^= local.x[pos]
+    lz = code.logical_z_support(0)
+    return int(np.dot(x_support, lz) % 2)
+
+
+def build_decoder_dataset(
+    result: PTSBEResult,
+    circuit: Circuit,
+    code: CSSCode,
+    layout: SyndromeLayout,
+) -> LabeledShotDataset:
+    """Decoder-training dataset from a PTSBE run on a syndrome circuit.
+
+    Features: the shot's syndrome bits (all rounds).  Labels: the logical
+    Z-frame flip implied by the trajectory's provenance record.
+    """
+    syndrome_bits = layout.syndrome_bit_count()
+    table = result.shot_table()
+    features = table.bits[:, :syndrome_bits]
+    records = {r.trajectory_id: r for r in result.records}
+    labels = np.empty(table.num_shots, dtype=np.int64)
+    label_of: Dict[int, int] = {}
+    for tid, record in records.items():
+        label_of[tid] = _logical_flip_label(record, circuit, code)
+    for i, tid in enumerate(table.trajectory_ids):
+        labels[i] = label_of[int(tid)]
+    return LabeledShotDataset(
+        features=features,
+        labels=labels,
+        trajectory_ids=table.trajectory_ids,
+        records=records,
+        metadata={
+            "code": code.name,
+            "rounds": str(layout.rounds),
+            "num_trajectories": str(result.num_trajectories),
+        },
+    )

@@ -1,0 +1,41 @@
+"""Emulated multi-GPU device layer.
+
+The paper runs on NVIDIA Eos (H100 80 GB); this layer reproduces the
+*structure* of that deployment on a CPU box: devices with memory
+capacities (:mod:`repro.devices.device`, :mod:`repro.devices.memory`), an
+honest distributed statevector whose slices live on separate emulated
+devices with explicit, byte-counted exchanges
+(:mod:`repro.devices.partition`), and an analytic performance model
+calibrated to the paper's published numbers
+(:mod:`repro.devices.perf_model`).
+"""
+
+from repro.devices.device import Device, DeviceMesh, H100
+from repro.devices.memory import (
+    density_matrix_bytes,
+    min_devices_for_statevector,
+    mps_bytes,
+    statevector_bytes,
+)
+from repro.devices.partition import DistributedStatevector
+from repro.devices.perf_model import (
+    BackendTimings,
+    PerfModel,
+    PAPER_STATEVECTOR_TIMINGS,
+    PAPER_TENSORNET_TIMINGS,
+)
+
+__all__ = [
+    "Device",
+    "DeviceMesh",
+    "H100",
+    "statevector_bytes",
+    "density_matrix_bytes",
+    "mps_bytes",
+    "min_devices_for_statevector",
+    "DistributedStatevector",
+    "BackendTimings",
+    "PerfModel",
+    "PAPER_STATEVECTOR_TIMINGS",
+    "PAPER_TENSORNET_TIMINGS",
+]

@@ -1,0 +1,73 @@
+"""Emulated compute devices and device meshes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import DeviceError
+
+__all__ = ["Device", "DeviceMesh", "H100"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """One emulated accelerator.
+
+    Attributes
+    ----------
+    device_id:
+        Index within its mesh.
+    memory_bytes:
+        Usable state memory (the paper's H100s hold 80 GB of vRAM).
+    name:
+        Cosmetic label.
+    """
+
+    device_id: int
+    memory_bytes: int
+    name: str = "emulated-gpu"
+
+    def fits(self, num_bytes: int) -> bool:
+        return num_bytes <= self.memory_bytes
+
+
+def H100(device_id: int = 0) -> Device:
+    """An 80 GB H100-like device (the paper's hardware)."""
+    return Device(device_id=device_id, memory_bytes=80 * 10**9, name="H100-80GB")
+
+
+class DeviceMesh:
+    """A homogeneous group of devices used for one simulation.
+
+    ``num_devices`` must be a power of two so statevector slicing by
+    leading qubits is exact (the standard distributed-statevector layout).
+    """
+
+    def __init__(self, num_devices: int, memory_bytes: int = 80 * 10**9, name: str = "mesh"):
+        if num_devices <= 0 or (num_devices & (num_devices - 1)) != 0:
+            raise DeviceError(f"num_devices must be a positive power of two, got {num_devices}")
+        self.devices: List[Device] = [
+            Device(device_id=i, memory_bytes=memory_bytes, name=f"{name}[{i}]")
+            for i in range(num_devices)
+        ]
+        self.name = name
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def global_qubits(self) -> int:
+        """Number of leading qubits consumed by the device index."""
+        return self.num_devices.bit_length() - 1
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return sum(d.memory_bytes for d in self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def __repr__(self) -> str:
+        return f"DeviceMesh({self.num_devices} x {self.devices[0].memory_bytes/1e9:.0f}GB)"

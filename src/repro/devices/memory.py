@@ -1,0 +1,68 @@
+"""Memory-footprint arithmetic for simulation planning.
+
+Reproduces the paper's capacity statements: a 35-qubit statevector holds
+``2**(n+1)`` float32 values (i.e. ``2**n`` complex64), which at 35 qubits
+is 256 GiB — hence "four H100 GPUs with 80 GB of vRAM each ... the minimum
+number able to accommodate the sizeable memory footprint" (§4).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+__all__ = [
+    "statevector_bytes",
+    "density_matrix_bytes",
+    "mps_bytes",
+    "min_devices_for_statevector",
+]
+
+
+def statevector_bytes(num_qubits: int, dtype=np.complex64) -> int:
+    """Bytes to store a dense 2**n statevector."""
+    if num_qubits <= 0:
+        raise DeviceError("num_qubits must be positive")
+    return (2**num_qubits) * np.dtype(dtype).itemsize
+
+
+def density_matrix_bytes(num_qubits: int, dtype=np.complex64) -> int:
+    """Bytes to store a dense 2**n x 2**n density matrix (the 4**n wall)."""
+    if num_qubits <= 0:
+        raise DeviceError("num_qubits must be positive")
+    return (4**num_qubits) * np.dtype(dtype).itemsize
+
+
+def mps_bytes(num_qubits: int, bond_dim: int, dtype=np.complex64) -> int:
+    """Bytes for an MPS with uniform internal bond dimension ``chi``.
+
+    Interior tensors are (chi, 2, chi); the two edge tensors are
+    (1, 2, chi) / (chi, 2, 1).
+    """
+    if num_qubits <= 0 or bond_dim <= 0:
+        raise DeviceError("num_qubits and bond_dim must be positive")
+    item = np.dtype(dtype).itemsize
+    if num_qubits == 1:
+        return 2 * item
+    interior = max(0, num_qubits - 2) * (bond_dim * 2 * bond_dim)
+    edges = 2 * (2 * bond_dim)
+    return (interior + edges) * item
+
+
+def min_devices_for_statevector(
+    num_qubits: int,
+    device_memory_bytes: int = 80 * 10**9,
+    dtype=np.complex64,
+    workspace_factor: float = 1.0,
+) -> int:
+    """Smallest power-of-two device count that fits the statevector.
+
+    ``workspace_factor`` scales the footprint for scratch buffers.  With
+    the defaults this returns 4 for the paper's 35-qubit circuit.
+    """
+    need = statevector_bytes(num_qubits, dtype) * workspace_factor
+    count = max(1, math.ceil(need / device_memory_bytes))
+    return 1 << (count - 1).bit_length()  # round up to a power of two

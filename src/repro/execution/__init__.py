@@ -1,0 +1,28 @@
+"""Batched execution (BE): realizing PTS trajectory specs efficiently.
+
+The engine prepares each prescribed noisy state exactly once and draws its
+full shot batch in bulk (:mod:`repro.execution.batched`), schedules
+trajectories across emulated devices (:mod:`repro.execution.scheduler`),
+and optionally fans them out over worker processes — the paper's
+"embarrassingly parallel" inter-trajectory axis
+(:mod:`repro.execution.parallel`).  Results carry per-shot provenance
+(:mod:`repro.execution.results`).
+"""
+
+from repro.execution.results import ShotTable, TrajectoryResult, PTSBEResult
+from repro.execution.batched import BackendSpec, BatchedExecutor, run_ptsbe
+from repro.execution.scheduler import Scheduler, round_robin, greedy_by_cost
+from repro.execution.parallel import ParallelExecutor
+
+__all__ = [
+    "ShotTable",
+    "TrajectoryResult",
+    "PTSBEResult",
+    "BackendSpec",
+    "BatchedExecutor",
+    "run_ptsbe",
+    "Scheduler",
+    "round_robin",
+    "greedy_by_cost",
+    "ParallelExecutor",
+]

@@ -1,0 +1,98 @@
+"""Trajectory-to-device scheduling.
+
+PTSBE's inter-trajectory axis is embarrassingly parallel (paper §3:
+"the calculation process trivially scales to arbitrarily many GPUs"), but
+a good schedule still matters when trajectory costs are skewed — one
+trajectory with 10**7 shots should not share a device with nothing else
+while ten smaller ones queue elsewhere.  Two policies:
+
+* :func:`round_robin` — the trivial baseline;
+* :func:`greedy_by_cost` — longest-processing-time-first bin packing on an
+  analytic per-trajectory cost (prep cost + shots * per-shot cost), the
+  classic 4/3-approximation for makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.pts.base import TrajectorySpec
+
+__all__ = ["Assignment", "Scheduler", "round_robin", "greedy_by_cost"]
+
+
+@dataclass
+class Assignment:
+    """Result of scheduling: specs per device plus predicted makespan."""
+
+    per_device: List[List[TrajectorySpec]]
+    predicted_loads: List[float]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.per_device)
+
+    @property
+    def makespan(self) -> float:
+        return max(self.predicted_loads) if self.predicted_loads else 0.0
+
+    def imbalance(self) -> float:
+        """max/mean predicted load — 1.0 is perfect balance."""
+        loads = [l for l in self.predicted_loads]
+        mean = sum(loads) / len(loads) if loads else 0.0
+        return self.makespan / mean if mean > 0 else 1.0
+
+
+def default_cost(spec: TrajectorySpec, prep_cost: float = 1.0, shot_cost: float = 1e-4) -> float:
+    """Analytic trajectory cost: one preparation plus per-shot sampling."""
+    return prep_cost + shot_cost * spec.num_shots
+
+
+def round_robin(specs: Sequence[TrajectorySpec], num_devices: int,
+                cost_fn: Optional[Callable[[TrajectorySpec], float]] = None) -> Assignment:
+    """Deal specs to devices in order."""
+    if num_devices <= 0:
+        raise ExecutionError("num_devices must be positive")
+    cost_fn = cost_fn or default_cost
+    per_device: List[List[TrajectorySpec]] = [[] for _ in range(num_devices)]
+    loads = [0.0] * num_devices
+    for i, spec in enumerate(specs):
+        d = i % num_devices
+        per_device[d].append(spec)
+        loads[d] += cost_fn(spec)
+    return Assignment(per_device, loads)
+
+
+def greedy_by_cost(specs: Sequence[TrajectorySpec], num_devices: int,
+                   cost_fn: Optional[Callable[[TrajectorySpec], float]] = None) -> Assignment:
+    """Longest-processing-time-first: sort by cost, assign to least-loaded."""
+    if num_devices <= 0:
+        raise ExecutionError("num_devices must be positive")
+    cost_fn = cost_fn or default_cost
+    per_device: List[List[TrajectorySpec]] = [[] for _ in range(num_devices)]
+    loads = [0.0] * num_devices
+    for spec in sorted(specs, key=cost_fn, reverse=True):
+        d = int(np.argmin(loads))
+        per_device[d].append(spec)
+        loads[d] += cost_fn(spec)
+    return Assignment(per_device, loads)
+
+
+class Scheduler:
+    """Policy holder used by the parallel executor."""
+
+    POLICIES = {"round_robin": round_robin, "greedy": greedy_by_cost}
+
+    def __init__(self, policy: str = "greedy",
+                 cost_fn: Optional[Callable[[TrajectorySpec], float]] = None):
+        if policy not in self.POLICIES:
+            raise ExecutionError(f"unknown scheduling policy {policy!r}")
+        self.policy = policy
+        self.cost_fn = cost_fn
+
+    def assign(self, specs: Sequence[TrajectorySpec], num_devices: int) -> Assignment:
+        return self.POLICIES[self.policy](specs, num_devices, self.cost_fn)

@@ -1,0 +1,28 @@
+"""Dense linear-algebra helpers shared by the simulation backends."""
+
+from repro.linalg.kron import (
+    embed_operator,
+    kron_all,
+    permute_operator_qubits,
+)
+from repro.linalg.unitary import (
+    closest_unitary,
+    is_hermitian,
+    is_unitary,
+    random_statevector,
+    random_unitary,
+)
+from repro.linalg.decompositions import truncated_svd, schmidt_decomposition
+
+__all__ = [
+    "embed_operator",
+    "kron_all",
+    "permute_operator_qubits",
+    "closest_unitary",
+    "is_hermitian",
+    "is_unitary",
+    "random_statevector",
+    "random_unitary",
+    "truncated_svd",
+    "schmidt_decomposition",
+]

@@ -1,0 +1,80 @@
+"""Truncated SVD and Schmidt decomposition used by the MPS backend.
+
+The tensor-network backend's accuracy/cost trade-off is governed entirely by
+these routines: every two-qubit gate application splits a merged tensor with
+:func:`truncated_svd`, discarding singular values below a cutoff and beyond a
+maximum bond dimension, exactly as cuTensorNet's MPS path does.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TruncationInfo", "truncated_svd", "schmidt_decomposition"]
+
+
+class TruncationInfo(NamedTuple):
+    """Bookkeeping about one SVD truncation.
+
+    Attributes
+    ----------
+    kept:
+        Number of singular values retained.
+    discarded_weight:
+        Sum of squared discarded singular values divided by the total —
+        i.e. the probability weight thrown away by this truncation.
+    """
+
+    kept: int
+    discarded_weight: float
+
+
+def truncated_svd(
+    matrix: np.ndarray,
+    max_rank: Optional[int] = None,
+    cutoff: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, TruncationInfo]:
+    """SVD with rank and relative-magnitude truncation.
+
+    Parameters
+    ----------
+    matrix:
+        Matrix to factor.
+    max_rank:
+        Keep at most this many singular values (``None`` = no limit).
+    cutoff:
+        Drop singular values ``s_i`` with ``s_i < cutoff * s_0``.
+
+    Returns
+    -------
+    (u, s, vh, info):
+        Truncated factors and a :class:`TruncationInfo` record.  At least
+        one singular value is always kept.
+    """
+    u, s, vh = np.linalg.svd(np.asarray(matrix), full_matrices=False)
+    total = float(np.sum(s**2))
+    rank = len(s)
+    if cutoff > 0.0 and rank > 0:
+        keep_mask = s >= cutoff * s[0]
+        rank = max(1, int(np.count_nonzero(keep_mask)))
+    if max_rank is not None:
+        rank = max(1, min(rank, int(max_rank)))
+    kept_weight = float(np.sum(s[:rank] ** 2))
+    discarded = 0.0 if total == 0.0 else max(0.0, 1.0 - kept_weight / total)
+    info = TruncationInfo(kept=rank, discarded_weight=discarded)
+    return u[:, :rank], s[:rank], vh[:rank, :], info
+
+
+def schmidt_decomposition(
+    state: np.ndarray, left_qubits: int, total_qubits: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Schmidt decomposition of a pure state across a left/right bipartition.
+
+    Returns ``(coeffs, left_vectors, right_vectors)`` with
+    ``state = sum_k coeffs[k] * kron(left[:, k], right[:, k])``.
+    """
+    state = np.asarray(state).reshape(2**left_qubits, 2 ** (total_qubits - left_qubits))
+    u, s, vh = np.linalg.svd(state, full_matrices=False)
+    return s, u, vh.T  # vh row k is the k-th right vector; return as columns

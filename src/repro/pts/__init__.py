@@ -1,0 +1,77 @@
+"""Pre-Trajectory Sampling (PTS) — the paper's core contribution.
+
+PTS decouples stochastic noise sampling from state evolution: a sampling
+algorithm runs over the circuit's *noise-site candidates* (site, Kraus
+index, nominal probability) and emits
+:class:`~repro.pts.base.TrajectorySpec` objects — fixed Kraus-operator
+sets with a prescribed shot count and full provenance metadata — which the
+batched execution engine then realizes without redundant state
+preparation.
+
+Algorithms (paper §3.1):
+
+* :class:`~repro.pts.probabilistic.ProbabilisticPTS` — paper Algorithm 2
+  verbatim (independent Bernoulli draws, ``compatible`` and ``uniqueKraus``
+  filtering, uniform ``nshots``);
+* :class:`~repro.pts.proportional.ProportionalPTS` — shot redistribution
+  by relative joint probability ``p'_alpha = p_alpha / sum p`` for
+  expectation-value estimation;
+* :class:`~repro.pts.bands.ProbabilityBandPTS` — keep only trajectories
+  with ``p_alpha`` in ``[p_min, p_max]``;
+* :class:`~repro.pts.exhaustive.ExhaustivePTS` / ``TopKPTS`` — analytic
+  enumeration of the most likely error combinations above a cutoff
+  (branch-and-bound);
+* :mod:`repro.pts.tailored` — Pauli-twirled and spatially-correlated
+  error injection;
+* :mod:`repro.pts.filters` — gate-type / location / parity selection
+  criteria composable into any sampler (paper: "add selection criteria to
+  Line 5 of Algorithm 2").
+"""
+
+from repro.pts.base import (
+    ErrorCandidate,
+    NoiseSiteView,
+    PTSAlgorithm,
+    PTSResult,
+    TrajectorySpec,
+)
+from repro.pts.compatibility import compatible, unique_kraus
+from repro.pts.probabilistic import ProbabilisticPTS
+from repro.pts.proportional import ProportionalPTS, apportion_shots
+from repro.pts.bands import ProbabilityBandPTS
+from repro.pts.exhaustive import ExhaustivePTS, TopKPTS
+from repro.pts.adaptive import AdaptiveNeymanPTS
+from repro.pts.tailored import CorrelatedNoisePTS, PauliTwirlPTS
+from repro.pts.filters import (
+    by_channel_name,
+    by_gate_context,
+    by_max_probability,
+    by_min_probability,
+    by_qubit_parity,
+    by_qubits,
+)
+
+__all__ = [
+    "ErrorCandidate",
+    "NoiseSiteView",
+    "PTSAlgorithm",
+    "PTSResult",
+    "TrajectorySpec",
+    "compatible",
+    "unique_kraus",
+    "ProbabilisticPTS",
+    "ProportionalPTS",
+    "apportion_shots",
+    "ProbabilityBandPTS",
+    "ExhaustivePTS",
+    "TopKPTS",
+    "AdaptiveNeymanPTS",
+    "PauliTwirlPTS",
+    "CorrelatedNoisePTS",
+    "by_channel_name",
+    "by_gate_context",
+    "by_qubits",
+    "by_qubit_parity",
+    "by_min_probability",
+    "by_max_probability",
+]

@@ -1,0 +1,73 @@
+"""Probability-band PTS.
+
+Paper §3.1: "Such variations also support preferred sampling from
+probability bands, wherein a Kraus operator set {K_a0 ... K_ai} is only
+chosen if p_alpha is in [p_min, p_max]."
+
+Use cases: isolating the rare-error tail (train a decoder on hard cases),
+or excluding the overwhelming no-error trajectory to spend all simulation
+budget on informative states.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import SamplingError
+from repro.pts.base import PTSAlgorithm, PTSResult, TrajectorySpec
+from repro.pts.probabilistic import ProbabilisticPTS
+
+__all__ = ["ProbabilityBandPTS"]
+
+
+class ProbabilityBandPTS(PTSAlgorithm):
+    """Keep only trajectories whose joint probability lies in a band.
+
+    Parameters
+    ----------
+    p_min, p_max:
+        Inclusive bounds on the joint nominal probability ``p_alpha``.
+    base:
+        Trajectory-set generator (defaults to Algorithm 2).
+    renormalize_shots:
+        When set, the surviving trajectories' shot budgets are rescaled so
+        the result keeps the base sampler's total shot count.
+    """
+
+    name = "probability_band"
+
+    def __init__(
+        self,
+        p_min: float,
+        p_max: float,
+        base: Optional[PTSAlgorithm] = None,
+        nsamples: int = 1000,
+        nshots: int = 1000,
+        renormalize_shots: bool = False,
+    ):
+        if not (0.0 <= p_min <= p_max):
+            raise SamplingError(f"invalid probability band [{p_min}, {p_max}]")
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self.base = base if base is not None else ProbabilisticPTS(nsamples, nshots)
+        self.renormalize_shots = renormalize_shots
+
+    def sample(self, circuit: Circuit, rng: np.random.Generator) -> PTSResult:
+        base_result = self.base.sample(circuit, rng)
+        kept: List[TrajectorySpec] = [
+            s for s in base_result.specs if self.p_min <= s.probability <= self.p_max
+        ]
+        if self.renormalize_shots and kept:
+            original_total = base_result.total_shots
+            per = max(1, original_total // len(kept))
+            kept = [s.with_shots(per) for s in kept]
+        return PTSResult(
+            specs=kept,
+            algorithm=f"{self.name}[{self.p_min:g},{self.p_max:g}]({self.base.name})",
+            attempted_samples=base_result.attempted_samples,
+            duplicates_rejected=base_result.duplicates_rejected,
+            incompatible_rejected=base_result.incompatible_rejected,
+        )

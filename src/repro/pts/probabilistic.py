@@ -1,0 +1,111 @@
+"""Paper Algorithm 2: the basic probabilistic PTS algorithm.
+
+For each of ``nsamples`` attempts, walk every error candidate of the noisy
+circuit, draw ``r ~ U(0,1)``, select the candidate when ``r <= p`` and it
+is :func:`~repro.pts.compatibility.compatible` with the selections so far;
+keep the resulting Kraus set only if
+:func:`~repro.pts.compatibility.unique_kraus` hasn't seen it, and assign
+it a large uniform shot budget ``nshots`` "to maximize data collection,
+such as would be useful for training ML models" (paper §3.1).
+
+Cost is ``O(nsamples * |candidates|)`` — the paper's
+"~O(|{K}|^2 (p)^2)" scaling with the expected number of fired sites —
+entirely independent of the exponential state dimension, which is the
+whole point: stochastic decisions are made *before* any state exists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import SamplingError
+from repro.pts.base import (
+    ErrorCandidate,
+    NoiseSiteView,
+    PTSAlgorithm,
+    PTSResult,
+    TrajectorySpec,
+)
+from repro.pts.compatibility import compatible, unique_kraus
+
+__all__ = ["ProbabilisticPTS"]
+
+
+class ProbabilisticPTS(PTSAlgorithm):
+    """Algorithm 2 with optional candidate filtering.
+
+    Parameters
+    ----------
+    nsamples:
+        Number of sampling attempts (outer loop of Algorithm 2).
+    nshots:
+        Uniform shot budget assigned to each unique Kraus set.
+    include_ideal:
+        Also emit the no-error trajectory when the sampler produces it
+        (``True``, default, matches Algorithm 2 — an empty KrausSample is
+        a perfectly valid unique trajectory).
+    candidate_filter:
+        Optional predicate restricting which error branches are eligible —
+        the "selection criteria [added] to Line 5 of Algorithm 2"
+        (see :mod:`repro.pts.filters`).
+    """
+
+    name = "probabilistic"
+
+    def __init__(
+        self,
+        nsamples: int,
+        nshots: int,
+        include_ideal: bool = True,
+        candidate_filter: Optional[Callable[[ErrorCandidate], bool]] = None,
+    ):
+        if nsamples < 0:
+            raise SamplingError("nsamples must be >= 0")
+        if nshots <= 0:
+            raise SamplingError("nshots must be positive")
+        self.nsamples = int(nsamples)
+        self.nshots = int(nshots)
+        self.include_ideal = include_ideal
+        self.candidate_filter = candidate_filter
+
+    def sample(self, circuit: Circuit, rng: np.random.Generator) -> PTSResult:
+        view = NoiseSiteView(circuit)
+        candidates = view.candidates
+        if self.candidate_filter is not None:
+            candidates = [c for c in candidates if self.candidate_filter(c)]
+        probs = np.array([c.probability for c in candidates], dtype=np.float64)
+
+        specs: List[TrajectorySpec] = []
+        seen: Set[Tuple[Tuple[int, int], ...]] = set()
+        duplicates = 0
+        incompatible = 0
+        for _ in range(self.nsamples):
+            selection: List[ErrorCandidate] = []
+            if len(candidates):
+                # Vectorized Bernoulli pass over all candidates (the inner
+                # loop of Algorithm 2, lines 5-12).
+                fired = np.nonzero(rng.random(len(candidates)) <= probs)[0]
+                for idx in fired:
+                    cand = candidates[int(idx)]
+                    if compatible(cand, selection):
+                        selection.append(cand)
+                    else:
+                        incompatible += 1
+            if not selection and not self.include_ideal:
+                continue
+            if unique_kraus(selection, seen):
+                specs.append(
+                    self.make_spec(view, selection, self.nshots, trajectory_id=len(specs))
+                )
+            else:
+                duplicates += 1
+        return PTSResult(
+            specs=specs,
+            algorithm=self.name,
+            attempted_samples=self.nsamples,
+            duplicates_rejected=duplicates,
+            incompatible_rejected=incompatible,
+        )

@@ -1,0 +1,48 @@
+"""Quantum error-correction substrate.
+
+Everything the paper's workloads need: GF(2) linear algebra
+(:mod:`repro.qec.gf2`), generic stabilizer/CSS code machinery with
+machine-verified properties (:mod:`repro.qec.codes`), concrete codes —
+the [[7,1,3]] Steane color code, the [[19,1,5]] triangular color code (the
+distance-5 stand-in for the paper's [[17,1,5]]; see DESIGN.md), rotated
+surface codes, and the non-CSS [[5,1,3]] perfect code
+(:mod:`repro.qec.color_codes`, :mod:`repro.qec.five_qubit`) — CSS encoding
+circuits (:mod:`repro.qec.encoding`), syndrome-extraction circuits
+(:mod:`repro.qec.syndrome`), lookup/minimum-weight decoders
+(:mod:`repro.qec.decoders`), and the 5->1 magic-state-distillation
+protocol of paper Fig. 3 (:mod:`repro.qec.magic`).
+"""
+
+from repro.qec.codes import CSSCode, steane_code, repetition_code, rotated_surface_code
+from repro.qec.color_codes import triangular_color_code
+from repro.qec.five_qubit import FiveQubitCode
+from repro.qec.encoding import css_encoding_circuit
+from repro.qec.syndrome import syndrome_extraction_circuit
+from repro.qec.decoders import LookupDecoder, MinimumWeightDecoder
+from repro.qec.magic import (
+    MSDOutcome,
+    distill_5_to_1,
+    magic_state_fidelity,
+    msd_benchmark_circuit,
+    msd_preparation_circuit,
+    noisy_magic_state,
+)
+
+__all__ = [
+    "CSSCode",
+    "steane_code",
+    "repetition_code",
+    "rotated_surface_code",
+    "triangular_color_code",
+    "FiveQubitCode",
+    "css_encoding_circuit",
+    "syndrome_extraction_circuit",
+    "LookupDecoder",
+    "MinimumWeightDecoder",
+    "MSDOutcome",
+    "distill_5_to_1",
+    "magic_state_fidelity",
+    "msd_benchmark_circuit",
+    "msd_preparation_circuit",
+    "noisy_magic_state",
+]

@@ -1,0 +1,90 @@
+"""Triangular 6.6.6 color codes of any odd distance.
+
+Construction (verified programmatically; see ``tests/test_color_codes.py``):
+
+* Take the triangular lattice of integer points ``(a, b)`` (axial
+  coordinates).  Points with ``(a - b) % 3 == 0`` are hexagon *centers*
+  of the embedded honeycomb lattice; the other points are its vertices
+  (the data qubits).
+* A hexagon centered at ``(a, b)`` has vertices
+  ``(a±1, b), (a, b±1), (a+1, b-1), (a-1, b+1)``.
+* Cut the triangular patch ``{a >= -1, b >= 0, a + b <= (3d-5)/2}``.
+  Interior hexagons keep weight 6; boundary hexagons are clipped to
+  weight-4 trapezoids; clipped faces with fewer than 3 vertices vanish.
+* Each surviving face yields one X- and one Z-stabilizer (self-dual CSS).
+
+This yields the ``[[(3d**2+1)/4, 1, d]]`` family: [[7,1,3]] (the Steane
+code, up to qubit relabeling), [[19,1,5]] and [[37,1,7]] — all verified
+for commutation, k=1 and exact distance by the test suite.
+
+The [[19,1,5]] member is this library's stand-in for the paper's
+[[17,1,5]] 4.8.8 color code (same distance, same triangular-color-code
+family, transversal Clifford gates; the paper does not list the 4.8.8
+face set).  See DESIGN.md §1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import QECError
+from repro.qec.codes import CSSCode
+
+__all__ = ["triangular_color_code", "color_code_layout"]
+
+_HEX_VERTEX_OFFSETS = ((1, 0), (-1, 0), (0, 1), (0, -1), (1, -1), (-1, 1))
+
+
+def color_code_layout(distance: int) -> Tuple[List[Tuple[int, int]], List[List[int]]]:
+    """Qubit coordinates and face membership lists for odd ``distance``.
+
+    Returns ``(qubits, faces)`` where ``qubits`` is the sorted coordinate
+    list (index = qubit id) and each face is a sorted list of qubit ids.
+    """
+    if distance < 3 or distance % 2 == 0:
+        raise QECError(f"triangular color code requires odd distance >= 3, got {distance}")
+    s = (3 * distance - 5) // 2
+    a_min, b_min = -1, 0
+    points = [
+        (a, b)
+        for a in range(a_min, s + 2)
+        for b in range(b_min, s + 2)
+        if a + b <= s
+    ]
+    qubits = sorted(p for p in points if (p[0] - p[1]) % 3 != 0)
+    centers = [p for p in points if (p[0] - p[1]) % 3 == 0]
+    index = {q: i for i, q in enumerate(qubits)}
+    faces: List[List[int]] = []
+    for (a, b) in centers:
+        members = sorted(
+            index[(a + da, b + db)]
+            for (da, db) in _HEX_VERTEX_OFFSETS
+            if (a + da, b + db) in index
+        )
+        if len(members) >= 3:
+            faces.append(members)
+    return qubits, faces
+
+
+def triangular_color_code(distance: int) -> CSSCode:
+    """Build the [[(3d^2+1)/4, 1, d]] triangular 6.6.6 color code.
+
+    Self-dual CSS: every face is both an X- and a Z-stabilizer, which is
+    what makes the full Clifford group transversal on these codes.
+    """
+    qubits, faces = color_code_layout(distance)
+    n = len(qubits)
+    expected_n = (3 * distance**2 + 1) // 4
+    if n != expected_n:
+        raise QECError(
+            f"layout produced {n} qubits, expected {expected_n} for distance {distance}"
+        )
+    h = np.zeros((len(faces), n), dtype=np.uint8)
+    for i, face in enumerate(faces):
+        h[i, face] = 1
+    code = CSSCode(h, h, name=f"color666_{distance}")
+    if code.k != 1:
+        raise QECError(f"color code construction failed: k={code.k}")
+    return code

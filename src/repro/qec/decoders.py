@@ -1,0 +1,124 @@
+"""Syndrome decoders: lookup tables and brute-force minimum weight.
+
+These are the *classical* baselines an AI decoder trained on PTSBE data
+would be compared against (paper §2.3).  Both operate on the CSS syndrome
+convention of :meth:`~repro.qec.codes.CSSCode.syndrome_of`: X-check bits
+first (detecting Z components), then Z-check bits (detecting X
+components).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.channels.pauli import PauliString, weight_bounded_paulis
+from repro.errors import QECError
+from repro.qec import gf2
+from repro.qec.codes import CSSCode
+
+__all__ = ["LookupDecoder", "MinimumWeightDecoder", "is_logical_error"]
+
+
+def is_logical_error(code: CSSCode, residual: PauliString) -> bool:
+    """True when ``residual`` (error * correction) acts on the logical state.
+
+    The residual is harmless iff it lies in the stabilizer group; it is a
+    logical operator iff it commutes with all checks but is *not* in the
+    group.  A residual that anticommutes with some check would mean the
+    correction didn't match the syndrome — flagged as an error.
+    """
+    syndrome = code.syndrome_of(residual)
+    if np.any(syndrome):
+        raise QECError("residual has nonzero syndrome; correction was inconsistent")
+    x_ok = gf2.row_space_contains(code.hx, residual.x)
+    z_ok = gf2.row_space_contains(code.hz, residual.z)
+    return not (x_ok and z_ok)
+
+
+class LookupDecoder:
+    """Precomputed syndrome -> minimum-weight-correction table.
+
+    The table enumerates all Pauli errors up to weight ``t`` (default:
+    the code's correctable radius ``(d-1)//2``) keeping the lowest-weight
+    representative per syndrome.  Decoding is then O(1) — the structure
+    AlphaQubit-style learned decoders are benchmarked against.
+    """
+
+    def __init__(self, code: CSSCode, max_weight: Optional[int] = None, distance: Optional[int] = None):
+        self.code = code
+        if max_weight is None:
+            d = distance if distance is not None else code.distance()
+            max_weight = (d - 1) // 2
+        self.max_weight = int(max_weight)
+        self.table: Dict[bytes, PauliString] = {}
+        identity = PauliString.identity(code.n)
+        self.table[code.syndrome_of(identity).tobytes()] = identity
+        for err in weight_bounded_paulis(code.n, self.max_weight):
+            key = self.code.syndrome_of(err).tobytes()
+            if key not in self.table:
+                self.table[key] = err
+
+    def decode(self, syndrome: np.ndarray) -> Optional[PauliString]:
+        """Correction for ``syndrome``; None when outside the table."""
+        key = np.asarray(syndrome, dtype=np.uint8).tobytes()
+        return self.table.get(key)
+
+    def decode_batch(self, syndromes: np.ndarray) -> Tuple[list, int]:
+        """Decode rows of a (m, checks) matrix; returns (corrections, misses)."""
+        out = []
+        misses = 0
+        for row in np.asarray(syndromes, dtype=np.uint8):
+            corr = self.decode(row)
+            if corr is None:
+                misses += 1
+            out.append(corr)
+        return out, misses
+
+    def __repr__(self) -> str:
+        return (
+            f"LookupDecoder({self.code.name}, t={self.max_weight}, "
+            f"entries={len(self.table)})"
+        )
+
+
+class MinimumWeightDecoder:
+    """Exhaustive minimum-weight decoding (exact but exponential).
+
+    For CSS codes the X and Z corrections decouple: the Z-check syndrome
+    is matched by a minimum-weight X-support (``hz v = s``), and the
+    X-check syndrome by a Z-support.  Feasible for the library's small
+    codes; used as the exactness reference for the lookup decoder.
+    """
+
+    def __init__(self, code: CSSCode, max_weight: Optional[int] = None):
+        self.code = code
+        self.max_weight = int(max_weight) if max_weight is not None else code.n
+
+    def _min_weight_solution(self, check: np.ndarray, syndrome: np.ndarray) -> Optional[np.ndarray]:
+        n = self.code.n
+        if not np.any(syndrome):
+            return np.zeros(n, dtype=np.uint8)
+        for w in range(1, self.max_weight + 1):
+            for support in combinations(range(n), w):
+                v = np.zeros(n, dtype=np.uint8)
+                v[list(support)] = 1
+                if np.array_equal((check @ v) % 2, syndrome % 2):
+                    return v
+        return None
+
+    def decode(self, syndrome: np.ndarray) -> Optional[PauliString]:
+        syndrome = np.asarray(syndrome, dtype=np.uint8)
+        rx = self.code.hx.shape[0]
+        s_x, s_z = syndrome[:rx], syndrome[rx:]
+        # X-check bits flag Z components; Z-check bits flag X components.
+        z_part = self._min_weight_solution(self.code.hx, s_x)
+        x_part = self._min_weight_solution(self.code.hz, s_z)
+        if z_part is None or x_part is None:
+            return None
+        return PauliString(x_part, z_part)
+
+    def __repr__(self) -> str:
+        return f"MinimumWeightDecoder({self.code.name})"

@@ -1,0 +1,128 @@
+"""Generic CSS encoding circuits (H + CNOT only — Clifford-verifiable).
+
+Construction (standard projective encoder, derived from the stabilizer
+formalism):
+
+1. Bring ``Hx`` to reduced row echelon form with pivot columns ``P``.
+2. Reduce the logical-X supports modulo ``Hx`` rows so they vanish on
+   ``P``, then bring them to RREF among themselves; their pivots ``l_j``
+   are the *data qubits*.
+3. Emit the circuit on ``|0...0>`` (data qubits pre-loaded by the caller):
+
+   a. for each logical ``j``: fan out ``CNOT(l_j -> q)`` over the rest of
+      its support — after this pass the register holds ``X_L^b |0^n>``;
+   b. for each RREF X-stabilizer row ``i``: ``H(p_i)`` then
+      ``CNOT(p_i -> q)`` over the rest of the row — building
+      ``prod_i (I + S_i^x)/sqrt(2)`` on top.
+
+   The pivots guarantee every control is |0> when its H fires, which is
+   what makes the result exactly the projected codeword
+   ``prod (I+S^x) X_L^b |0^n>`` — stabilized by all X and Z checks with
+   the right logical value.  Verified for every code in the library via
+   the stabilizer backend (``tests/test_encoding.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import QECError
+from repro.qec import gf2
+from repro.qec.codes import CSSCode
+
+__all__ = ["css_encoding_circuit", "EncoderInfo"]
+
+
+@dataclass(frozen=True)
+class EncoderInfo:
+    """Metadata of a synthesized encoder.
+
+    Attributes
+    ----------
+    data_qubits:
+        ``data_qubits[j]`` is the physical qubit whose pre-circuit state
+        becomes logical qubit ``j``.
+    x_pivots:
+        Pivot qubit of each X-stabilizer row (the qubits receiving H).
+    logical_x_rows / logical_z_rows:
+        The logical operator supports this encoder realizes (reduced
+        representatives, consistent with the emitted circuit).
+    """
+
+    data_qubits: Tuple[int, ...]
+    x_pivots: Tuple[int, ...]
+    logical_x_rows: np.ndarray
+    logical_z_rows: np.ndarray
+
+
+def css_encoding_circuit(code: CSSCode) -> Tuple[Circuit, EncoderInfo]:
+    """Synthesize the H/CNOT encoder for a CSS code.
+
+    Returns ``(circuit, info)``.  The circuit assumes all qubits start in
+    |0> except the data qubits, which carry the logical payload.
+    """
+    n = code.n
+    hx_rref, x_pivots = gf2.rref(code.hx)
+    hx_rref = hx_rref[: len(x_pivots)]  # drop zero rows
+    pivot_set = set(x_pivots)
+
+    # Reduce logical X rows to vanish on the X-pivot columns.
+    lx = code._logical_x.copy()
+    for j in range(lx.shape[0]):
+        for r, p in enumerate(x_pivots):
+            if lx[j, p]:
+                lx[j] ^= hx_rref[r]
+    if np.any(lx[:, list(pivot_set)]) if pivot_set else False:
+        raise QECError(f"{code.name}: failed to clear logical X on pivots")
+
+    # RREF the logicals among themselves (their pivots become data qubits).
+    lx_rref, l_pivots = gf2.rref(lx)
+    lx_rref = lx_rref[: len(l_pivots)]
+    if len(l_pivots) != code.k:
+        raise QECError(f"{code.name}: logical X rows are not independent")
+    if pivot_set.intersection(l_pivots):
+        raise QECError(f"{code.name}: data qubits collide with stabilizer pivots")
+
+    # Re-pair logical Z with the reduced X representatives.  Adding
+    # stabilizer rows preserves pairing, but the RREF among logicals mixes
+    # rows: lx_rref = R @ lx, so the Gram matrix becomes R and we must
+    # transform lz by (R^{-1})^T to restore lx_rref . lz'^T = I.
+    lz = code._logical_z.copy()
+    if code.k > 1:
+        gram = (lx_rref @ lz.T) % 2  # equals R
+        r_inv_cols = []
+        for j in range(code.k):
+            e = np.zeros(code.k, dtype=np.uint8)
+            e[j] = 1
+            col = gf2.solve(gram, e)
+            if col is None:
+                raise QECError(f"{code.name}: singular logical row transform")
+            r_inv_cols.append(col)
+        r_inv = np.stack(r_inv_cols, axis=1)  # gram @ r_inv = I
+        lz = (r_inv.T @ lz) % 2
+
+    circ = Circuit(n, name=f"encode_{code.name}")
+    # (a) logical fan-out
+    for j in range(code.k):
+        control = l_pivots[j]
+        for q in np.nonzero(lx_rref[j])[0]:
+            if int(q) != control:
+                circ.cx(control, int(q))
+    # (b) X-stabilizer projection
+    for i, p in enumerate(x_pivots):
+        circ.h(p)
+        for q in np.nonzero(hx_rref[i])[0]:
+            if int(q) != p:
+                circ.cx(p, int(q))
+
+    info = EncoderInfo(
+        data_qubits=tuple(int(p) for p in l_pivots),
+        x_pivots=tuple(int(p) for p in x_pivots),
+        logical_x_rows=lx_rref,
+        logical_z_rows=lz,
+    )
+    return circ, info

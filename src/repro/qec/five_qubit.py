@@ -1,0 +1,107 @@
+"""The [[5,1,3]] perfect code (non-CSS) — the engine of 5->1 distillation.
+
+Stabilizers are the cyclic shifts of XZZXI; logicals are the transversal
+X and Z strings.  Because the code is not CSS it does not fit
+:class:`~repro.qec.codes.CSSCode`; this module provides exactly what the
+Bravyi-Kitaev magic-state-distillation protocol needs: the code-space
+projector and an orthonormal logical basis, built by explicit projection
+(the code is only ever needed at its native 5 qubits = 32 dimensions).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.channels.pauli import PauliString
+from repro.errors import QECError
+
+__all__ = ["FiveQubitCode"]
+
+
+class FiveQubitCode:
+    """The [[5,1,3]] code with dense projector / logical-basis access."""
+
+    STABILIZER_LABELS = ("XZZXI", "IXZZX", "XIXZZ", "ZXIXZ")
+    LOGICAL_X_LABEL = "XXXXX"
+    LOGICAL_Z_LABEL = "ZZZZZ"
+
+    def __init__(self):
+        self.n = 5
+        self.k = 1
+        self.stabilizers: List[PauliString] = [
+            PauliString.from_label(lab) for lab in self.STABILIZER_LABELS
+        ]
+        self.logical_x = PauliString.from_label(self.LOGICAL_X_LABEL)
+        self.logical_z = PauliString.from_label(self.LOGICAL_Z_LABEL)
+        for i, a in enumerate(self.stabilizers):
+            for b in self.stabilizers[i + 1 :]:
+                if not a.commutes_with(b):
+                    raise QECError("five-qubit stabilizers fail to commute")
+            if not a.commutes_with(self.logical_x) or not a.commutes_with(self.logical_z):
+                raise QECError("logicals fail to commute with stabilizers")
+
+    @cached_property
+    def projector(self) -> np.ndarray:
+        """Code-space projector ``prod_i (I + S_i) / 2`` (rank 2)."""
+        proj = np.eye(32, dtype=np.complex128)
+        for s in self.stabilizers:
+            proj = proj @ (np.eye(32) + s.to_matrix()) / 2.0
+        return proj
+
+    @cached_property
+    def logical_basis(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Orthonormal ``(|0_L>, |1_L>)`` with the right logical-Z eigenvalues.
+
+        ``|0_L>`` is the projection of |00000> (which has Z_L = +1 as
+        Z_L |0...0> = +|0...0> survives the projector); ``|1_L>`` is
+        ``X_L |0_L>``.
+        """
+        zero = np.zeros(32, dtype=np.complex128)
+        zero[0] = 1.0
+        zero_l = self.projector @ zero
+        nrm = np.linalg.norm(zero_l)
+        if nrm < 1e-12:
+            raise QECError("projection of |00000> vanished")
+        zero_l = zero_l / nrm
+        one_l = self.logical_x.to_matrix() @ zero_l
+        # Sanity: orthonormal, Z_L eigenvalues +1 / -1.
+        zl = self.logical_z.to_matrix()
+        if abs(np.vdot(zero_l, zl @ zero_l) - 1.0) > 1e-9:
+            raise QECError("Z_L eigenvalue of |0_L> is not +1")
+        if abs(np.vdot(one_l, zl @ one_l) + 1.0) > 1e-9:
+            raise QECError("Z_L eigenvalue of |1_L> is not -1")
+        return zero_l, one_l
+
+    def logical_state(self, alpha: complex, beta: complex) -> np.ndarray:
+        """Encoded ``alpha |0_L> + beta |1_L>`` (normalized)."""
+        zero_l, one_l = self.logical_basis
+        state = alpha * zero_l + beta * one_l
+        nrm = np.linalg.norm(state)
+        if nrm < 1e-12:
+            raise QECError("requested logical state has zero norm")
+        return state / nrm
+
+    def decode_density_matrix(self, rho: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Project a 5-qubit density matrix onto the code space and decode.
+
+        Returns ``(rho_logical, acceptance)`` where ``rho_logical`` is the
+        normalized 2x2 logical density matrix in the ``(|0_L>, |1_L>)``
+        basis and ``acceptance`` is the trivial-syndrome probability —
+        exactly the post-selection step of 5->1 distillation.
+        """
+        rho = np.asarray(rho)
+        if rho.shape != (32, 32):
+            raise QECError(f"expected a 32x32 density matrix, got {rho.shape}")
+        zero_l, one_l = self.logical_basis
+        basis = np.stack([zero_l, one_l], axis=1)  # (32, 2)
+        block = basis.conj().T @ rho @ basis
+        acceptance = float(np.real(np.trace(block)))
+        if acceptance <= 0:
+            raise QECError("zero acceptance probability")
+        return block / acceptance, acceptance
+
+    def __repr__(self) -> str:
+        return "FiveQubitCode([[5,1,3]])"

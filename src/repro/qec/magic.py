@@ -1,0 +1,270 @@
+"""5->1 magic-state distillation (paper Fig. 3, Bravyi-Kitaev protocol).
+
+Two faces of the protocol live here:
+
+* **Exact physics** — :func:`distill_5_to_1` runs the real protocol on
+  five noisy T-type magic states: form ``rho(eps)**(x5)``, project onto
+  the [[5,1,3]] code space (trivial-syndrome post-selection), decode the
+  logical qubit, and report output error + acceptance.  The protocol's
+  hallmark numbers are all reproduced and verified in tests:
+  ``eps_out -> 5 eps**2`` (quadratic suppression), acceptance ``-> 1/6``
+  at small ``eps``, and the Bravyi-Kitaev threshold
+  ``eps* = (1 - sqrt(3/7))/2 ~ 0.1727`` — the correctness anchor for the
+  whole MSD stack.
+
+* **Benchmark circuits** — :func:`msd_benchmark_circuit` builds the
+  gate-level workload of paper Figs. 4/5: five logical qubits, each
+  optionally encoded in a CSS code block (Steane -> 35 qubits,
+  [[19,1,5]] -> 95 qubits standing in for the paper's 85), magic-state
+  data preparation, the Fig. 3 sqrt(X)/sqrt(Y)/sqrt(X)^dag single-qubit
+  pattern, ring entanglement, and readout of the top block in any of the
+  three Pauli bases ("measured in all three Pauli bases so that the
+  fidelity of the resulting magic state could be computed").  The exact
+  QuEra gate ordering is not recoverable from the paper, so the circuit
+  follows Fig. 3's gate inventory and the protocol's 5-block structure —
+  which is what the performance benchmarks need (see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import QECError
+from repro.qec.codes import CSSCode
+from repro.qec.encoding import css_encoding_circuit
+from repro.qec.five_qubit import FiveQubitCode
+
+__all__ = [
+    "MAGIC_BLOCH",
+    "magic_state_vector",
+    "noisy_magic_state",
+    "magic_state_fidelity",
+    "bloch_from_expectations",
+    "MSDOutcome",
+    "distill_5_to_1",
+    "msd_benchmark_circuit",
+    "msd_preparation_circuit",
+]
+
+#: Bloch vector of the T-type magic state (the +(1,1,1) corner).
+MAGIC_BLOCH = np.array([1.0, 1.0, 1.0]) / math.sqrt(3.0)
+
+_PAULIS = {
+    "x": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+
+def magic_state_vector() -> np.ndarray:
+    """|T> = cos(beta)|0> + e^{i pi/4} sin(beta)|1>, cos(2 beta) = 1/sqrt(3)."""
+    beta = 0.5 * math.acos(1.0 / math.sqrt(3.0))
+    return np.array([math.cos(beta), np.exp(1j * math.pi / 4) * math.sin(beta)])
+
+
+def noisy_magic_state(epsilon: float) -> np.ndarray:
+    """Density matrix ``(1-eps)|T><T| + eps |T_perp><T_perp|``.
+
+    This is the standard depolarized-toward-the-antipode noise model of
+    the Bravyi-Kitaev analysis.
+    """
+    if not (0.0 <= epsilon <= 1.0):
+        raise QECError(f"epsilon must be in [0,1], got {epsilon}")
+    t = magic_state_vector()
+    rho_t = np.outer(t, t.conj())
+    # The orthogonal state has the antipodal Bloch vector.
+    rho_perp = np.eye(2) - rho_t
+    return (1.0 - epsilon) * rho_t + epsilon * rho_perp
+
+
+def bloch_from_expectations(ex: float, ey: float, ez: float) -> np.ndarray:
+    """Assemble a Bloch vector from three Pauli expectation values."""
+    return np.array([ex, ey, ez], dtype=np.float64)
+
+
+def magic_state_fidelity(bloch: np.ndarray, target: Optional[np.ndarray] = None) -> float:
+    """Fidelity of a single-qubit state (as Bloch vector) with a magic state.
+
+    ``F = (1 + r . m) / 2`` — computable from the three Pauli-basis
+    measurement batches exactly as paper Fig. 3 describes.
+    """
+    m = MAGIC_BLOCH if target is None else np.asarray(target, dtype=np.float64)
+    r = np.asarray(bloch, dtype=np.float64)
+    return float((1.0 + r @ m) / 2.0)
+
+
+def _bloch_of_density(rho: np.ndarray) -> np.ndarray:
+    return np.array([float(np.real(np.trace(rho @ _PAULIS[p]))) for p in "xyz"])
+
+
+def _nearest_t_corner(bloch: np.ndarray) -> np.ndarray:
+    """The T-type corner (+-1,+-1,+-1)/sqrt(3) closest to ``bloch``.
+
+    The 5->1 protocol outputs a T-type state up to a known single-qubit
+    Clifford; reporting against the nearest corner absorbs that fixed
+    correction.
+    """
+    best, best_dot = None, -np.inf
+    for signs in product((1.0, -1.0), repeat=3):
+        corner = np.array(signs) / math.sqrt(3.0)
+        d = float(bloch @ corner)
+        if d > best_dot:
+            best, best_dot = corner, d
+    return best
+
+
+@dataclass(frozen=True)
+class MSDOutcome:
+    """Result of one exact 5->1 distillation evaluation."""
+
+    epsilon_in: float
+    epsilon_out: float
+    acceptance: float
+    output_bloch: Tuple[float, float, float]
+    target_corner: Tuple[float, float, float]
+
+    def suppression_ratio(self) -> float:
+        """eps_out / eps_in**2 — approaches 5 in the quadratic regime."""
+        if self.epsilon_in <= 0:
+            raise QECError("suppression ratio undefined at epsilon_in = 0")
+        return self.epsilon_out / self.epsilon_in**2
+
+
+def distill_5_to_1(epsilon: float, code: Optional[FiveQubitCode] = None) -> MSDOutcome:
+    """Run the exact Bravyi-Kitaev 5->1 protocol at input error ``epsilon``.
+
+    Builds ``rho(eps)**(x5)`` (32x32), projects onto the [[5,1,3]] code
+    space, decodes the logical qubit, and measures the output against the
+    nearest T-type magic state.
+    """
+    code = code or FiveQubitCode()
+    rho1 = noisy_magic_state(epsilon)
+    rho = np.ones((1, 1), dtype=np.complex128)
+    for _ in range(5):
+        rho = np.kron(rho, rho1)
+    logical, acceptance = code.decode_density_matrix(rho)
+    bloch = _bloch_of_density(logical)
+    corner = _nearest_t_corner(bloch)
+    fidelity = magic_state_fidelity(bloch, corner)
+    return MSDOutcome(
+        epsilon_in=float(epsilon),
+        epsilon_out=float(1.0 - fidelity),
+        acceptance=float(acceptance),
+        output_bloch=tuple(float(v) for v in bloch),
+        target_corner=tuple(float(v) for v in corner),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# benchmark circuits (Figs. 4 / 5 workloads)
+# ---------------------------------------------------------------------- #
+_MAGIC_BETA = 0.5 * math.acos(1.0 / math.sqrt(3.0))
+
+#: Fig. 3's per-wire single-qubit gate inventory (sqrt-Pauli pattern).
+_FIG3_WIRE_GATES = (
+    ("sx", "sy", "sxdg"),
+    ("sx", "sxdg"),
+    ("sxdg",),
+    ("sy", "sxdg"),
+    ("sx", "sxdg"),
+)
+
+
+def _prepare_magic_data(circ: Circuit, qubit: int) -> None:
+    """Rotate |0> to the T-type magic state (non-Clifford, by design)."""
+    circ.ry(2 * _MAGIC_BETA, qubit)
+    circ.rz(math.pi / 4, qubit)
+
+
+def msd_benchmark_circuit(
+    code: Optional[CSSCode] = None,
+    basis: str = "z",
+    measure_all: bool = True,
+) -> Circuit:
+    """The 5-logical-qubit MSD workload of paper Figs. 3-5.
+
+    Parameters
+    ----------
+    code:
+        ``None`` — bare 5-qubit logical-level circuit; a :class:`CSSCode`
+        — each wire becomes an encoded block (Steane -> 35 physical
+        qubits, the paper's statevector workload).
+    basis:
+        Readout basis for the top wire/block: ``"x"``, ``"y"`` or ``"z"``
+        (Fig. 3's three-basis fidelity measurement).
+    measure_all:
+        Measure every qubit (dataset mode) or only the top wire/block.
+    """
+    if basis not in ("x", "y", "z"):
+        raise QECError(f"basis must be x/y/z, got {basis!r}")
+    block = 1 if code is None else code.n
+    n = 5 * block
+    circ = Circuit(n, name=f"msd_{'bare' if code is None else code.name}_{basis}")
+    data_qubit_offset = 0
+    if code is not None:
+        encoder, info = css_encoding_circuit(code)
+        data_qubit_offset = info.data_qubits[0]
+
+    # Magic-state preparation per wire (data qubit first, then encode).
+    for w in range(5):
+        base = w * block
+        _prepare_magic_data(circ, base + data_qubit_offset)
+        if code is not None:
+            circ.extend(encoder, qubit_map=list(range(base, base + block)))
+
+    def transversal(gate_name: str, wire: int) -> None:
+        base = wire * block
+        for q in range(base, base + block):
+            getattr(circ, gate_name)(q)
+
+    def transversal_cz(wa: int, wb: int) -> None:
+        for q in range(block):
+            circ.cz(wa * block + q, wb * block + q)
+
+    # Fig. 3 structure: first sqrt-Pauli column, ring entanglement,
+    # closing sqrt-Pauli column.
+    for w, gates in enumerate(_FIG3_WIRE_GATES):
+        for g in gates[:-1]:
+            transversal(g, w)
+    for w in range(5):
+        transversal_cz(w, (w + 1) % 5)
+    for w, gates in enumerate(_FIG3_WIRE_GATES):
+        transversal(gates[-1], w)
+
+    # Basis change on the top wire for the three-basis fidelity readout.
+    if basis == "x":
+        transversal("h", 0)
+    elif basis == "y":
+        transversal("sdg", 0)
+        transversal("h", 0)
+
+    if measure_all:
+        circ.measure_all()
+    else:
+        circ.measure(*range(block))
+    return circ
+
+
+def msd_preparation_circuit(code: CSSCode, measure: bool = True) -> Circuit:
+    """Five encoded magic-state blocks, no inter-block gates.
+
+    This is the "magic state distillation preparation circuit" of paper
+    Fig. 5 (their 85-qubit tensor-network workload; [[19,1,5]] gives 95
+    qubits here, Steane gives 35).
+    """
+    encoder, info = css_encoding_circuit(code)
+    n = 5 * code.n
+    circ = Circuit(n, name=f"msd_prep_{code.name}")
+    for w in range(5):
+        base = w * code.n
+        _prepare_magic_data(circ, base + info.data_qubits[0])
+        circ.extend(encoder, qubit_map=list(range(base, base + code.n)))
+    if measure:
+        circ.measure_all()
+    return circ

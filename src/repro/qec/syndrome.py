@@ -1,0 +1,109 @@
+"""Syndrome-extraction circuits (ancilla-coupled stabilizer readout).
+
+One fresh ancilla per stabilizer per round (the deferred-measurement
+contract forbids ancilla reuse): X-stabilizers read out through
+``H - CX(ancilla -> data) - H``, Z-stabilizers through
+``CX(data -> ancilla)``.  The emitted circuit is pure Clifford, so the
+ideal (noiseless) syndrome of a fresh codeword is deterministic zero —
+which is exactly what makes frame/trajectory noise attribution clean for
+decoder-training datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import QECError
+from repro.qec.codes import CSSCode
+from repro.qec.encoding import css_encoding_circuit
+
+__all__ = ["syndrome_extraction_circuit", "SyndromeLayout"]
+
+
+@dataclass(frozen=True)
+class SyndromeLayout:
+    """Wiring record of a syndrome-extraction circuit.
+
+    Attributes
+    ----------
+    data_qubits:
+        The ``n`` code qubits (always ``0..n-1``).
+    ancilla_of:
+        ``ancilla_of[(round, check_index)]`` is the physical ancilla
+        measured for that check; check indices run X-checks first, then
+        Z-checks (matching :meth:`CSSCode.syndrome_of` bit order).
+    rounds:
+        Number of extraction rounds.
+    measure_data:
+        Whether data qubits are measured at the end (Z basis).
+    """
+
+    data_qubits: Tuple[int, ...]
+    ancilla_of: Dict[Tuple[int, int], int]
+    rounds: int
+    measure_data: bool
+
+    def syndrome_bit_count(self) -> int:
+        return len(self.ancilla_of)
+
+
+def syndrome_extraction_circuit(
+    code: CSSCode,
+    rounds: int = 1,
+    include_encoder: bool = True,
+    measure_data: bool = True,
+) -> Tuple[Circuit, SyndromeLayout]:
+    """Build encoder + ``rounds`` of stabilizer readout + final readout.
+
+    The measurement order is: round 0's checks (X then Z), round 1's ...,
+    then (optionally) all data qubits — so a shot's first
+    ``rounds * (r_x + r_z)`` bits are syndrome bits in
+    :meth:`CSSCode.syndrome_of` order.
+    """
+    if rounds < 1:
+        raise QECError("rounds must be >= 1")
+    num_checks = code.hx.shape[0] + code.hz.shape[0]
+    total = code.n + rounds * num_checks
+    circ = Circuit(total, name=f"syndrome_{code.name}_x{rounds}")
+
+    if include_encoder:
+        encoder, _ = css_encoding_circuit(code)
+        circ.extend(encoder, qubit_map=list(range(code.n)))
+
+    ancilla_of: Dict[Tuple[int, int], int] = {}
+    next_ancilla = code.n
+    for r in range(rounds):
+        check = 0
+        for row in code.hx:
+            a = next_ancilla
+            next_ancilla += 1
+            ancilla_of[(r, check)] = a
+            circ.h(a)
+            for q in np.nonzero(row)[0]:
+                circ.cx(a, int(q))
+            circ.h(a)
+            check += 1
+        for row in code.hz:
+            a = next_ancilla
+            next_ancilla += 1
+            ancilla_of[(r, check)] = a
+            for q in np.nonzero(row)[0]:
+                circ.cx(int(q), a)
+            check += 1
+    # Measurements: syndromes in round/check order, then data.
+    for r in range(rounds):
+        for c in range(num_checks):
+            circ.measure(ancilla_of[(r, c)], key=f"synd_r{r}")
+    if measure_data:
+        circ.measure(*range(code.n), key="data")
+    layout = SyndromeLayout(
+        data_qubits=tuple(range(code.n)),
+        ancilla_of=ancilla_of,
+        rounds=rounds,
+        measure_data=measure_data,
+    )
+    return circ, layout

@@ -1,0 +1,87 @@
+"""Deterministic random-number streams (the library's cuRAND stand-in).
+
+The paper's simulator uses cuRAND, a counter-based generator, so that each
+trajectory draws from an independent, reproducible stream regardless of
+execution order or which GPU it lands on.  We reproduce that contract with
+NumPy's Philox bit generator plus ``SeedSequence.spawn``-style key
+derivation:
+
+* :func:`root_sequence` builds the experiment-level seed sequence;
+* :func:`trajectory_rng` derives the stream for trajectory *i* — the same
+  stream is produced whether the trajectory runs serially, in a process
+  pool, or on a different emulated device (verified in
+  ``tests/test_rng.py``);
+* :class:`StreamFactory` packages this for the execution layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "root_sequence",
+    "make_rng",
+    "trajectory_rng",
+    "StreamFactory",
+]
+
+
+def root_sequence(seed: Optional[int]) -> np.random.SeedSequence:
+    """Return the experiment-level :class:`numpy.random.SeedSequence`.
+
+    ``None`` gives fresh OS entropy (non-reproducible); any integer gives a
+    fully deterministic tree of child streams.
+    """
+    return np.random.SeedSequence(seed)
+
+
+def make_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """Create a Philox-backed generator from an integer seed (or entropy)."""
+    return np.random.Generator(np.random.Philox(root_sequence(seed)))
+
+
+def trajectory_rng(seed: Optional[int], trajectory_index: int) -> np.random.Generator:
+    """Derive the deterministic stream for one trajectory.
+
+    The stream depends only on ``(seed, trajectory_index)`` — not on how
+    many trajectories run, in what order, or on which worker — mirroring
+    counter-based cuRAND semantics.
+    """
+    if trajectory_index < 0:
+        raise ValueError(f"trajectory_index must be >= 0, got {trajectory_index}")
+    seq = np.random.SeedSequence(seed, spawn_key=(trajectory_index,))
+    return np.random.Generator(np.random.Philox(seq))
+
+
+class StreamFactory:
+    """Factory of per-trajectory RNG streams for the execution layer.
+
+    Parameters
+    ----------
+    seed:
+        Experiment seed.  ``None`` draws OS entropy once at construction so
+        that all workers still agree on the stream tree.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        if seed is None:
+            seed = int(np.random.SeedSequence().generate_state(1)[0])
+        self.seed = int(seed)
+
+    def rng_for(self, trajectory_index: int) -> np.random.Generator:
+        """Stream for a single trajectory index."""
+        return trajectory_rng(self.seed, trajectory_index)
+
+    def streams(self, count: int, start: int = 0) -> Iterator[np.random.Generator]:
+        """Yield ``count`` consecutive trajectory streams starting at ``start``."""
+        for i in range(start, start + count):
+            yield self.rng_for(i)
+
+    def child_seeds(self, count: int) -> Sequence[int]:
+        """Integer seeds (for pickling into worker processes)."""
+        return [int(np.random.SeedSequence(self.seed, spawn_key=(i,)).generate_state(1)[0]) for i in range(count)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamFactory(seed={self.seed})"

@@ -1,0 +1,61 @@
+"""Channel-analysis cache (CUDA-Q's unitary-mixture detection, feature #2).
+
+Detecting ``K_i = sqrt(p_i) U_i`` costs a few small matrix products per
+channel; done naively it would be repeated at *every noise site of every
+trajectory* (paper Algorithm 1 runs the lookup inside the hot loop).  The
+cache keys on channel object identity, so the analysis runs once per
+distinct channel per process — the paper's "unitary-channel detection for
+probability caching".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.channels.kraus import KrausChannel
+from repro.channels.unitary_mixture import UnitaryMixture, as_unitary_mixture
+
+__all__ = ["ChannelAnalysisCache"]
+
+
+class ChannelAnalysisCache:
+    """Memoized unitary-mixture analysis + cumulative probability tables."""
+
+    def __init__(self):
+        self._mixtures: Dict[int, Optional[UnitaryMixture]] = {}
+        self._cumprobs: Dict[int, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def mixture(self, channel: KrausChannel) -> Optional[UnitaryMixture]:
+        """Cached :func:`as_unitary_mixture` result (None if general Kraus)."""
+        key = id(channel)
+        if key in self._mixtures:
+            self.hits += 1
+            return self._mixtures[key]
+        self.misses += 1
+        result = as_unitary_mixture(channel)
+        self._mixtures[key] = result
+        return result
+
+    def cumulative_probs(self, channel: KrausChannel) -> np.ndarray:
+        """Cached cumulative nominal-probability table for branch lookup."""
+        key = id(channel)
+        table = self._cumprobs.get(key)
+        if table is None:
+            table = np.cumsum(np.asarray(channel.nominal_probs, dtype=np.float64))
+            table[-1] = 1.0
+            self._cumprobs[key] = table
+        return table
+
+    def branch_index(self, channel: KrausChannel, r: float) -> int:
+        """Map a uniform draw to a branch index (Algorithm 1's ``index(r, {p_i})``)."""
+        return int(np.searchsorted(self.cumulative_probs(channel), r, side="right"))
+
+    def clear(self) -> None:
+        self._mixtures.clear()
+        self._cumprobs.clear()
+        self.hits = 0
+        self.misses = 0

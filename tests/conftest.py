@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Circuit, NoiseModel, depolarizing
+from repro.channels.standard import amplitude_damping, bit_flip, two_qubit_depolarizing
+from repro.rng import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return make_rng(12345)
+
+
+@pytest.fixture
+def ghz3() -> Circuit:
+    """Ideal 3-qubit GHZ circuit with measurement."""
+    return Circuit(3).h(0).cx(0, 1).cx(1, 2).measure_all()
+
+
+@pytest.fixture
+def noisy_ghz3(ghz3: Circuit) -> Circuit:
+    """GHZ with 5% depolarizing after every CX (frozen)."""
+    model = NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(0.05))
+    return model.apply(ghz3).freeze()
+
+
+@pytest.fixture
+def noisy_ghz3_general(ghz3: Circuit) -> Circuit:
+    """GHZ with a *general* (non-unitary-mixture) channel per CX."""
+    model = NoiseModel().add_all_qubit_gate_noise("cx", amplitude_damping(0.08))
+    return model.apply(ghz3).freeze()
+
+
+@pytest.fixture
+def mixed_noise_circuit() -> Circuit:
+    """4-qubit circuit mixing 1q/2q channels, prep and measurement noise."""
+    ideal = Circuit(4)
+    ideal.h(0).cx(0, 1).cx(1, 2).cx(2, 3).t(3).cx(2, 3).measure_all()
+    model = (
+        NoiseModel()
+        .add_all_qubit_gate_noise("cx", two_qubit_depolarizing(0.03))
+        .add_all_qubit_gate_noise("t", depolarizing(0.02))
+        .add_preparation_noise(bit_flip(0.01))
+        .add_measurement_noise(bit_flip(0.015))
+    )
+    return model.apply(ideal).freeze()

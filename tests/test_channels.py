@@ -1,0 +1,182 @@
+"""Kraus channels: CPTP verification, unitary-mixture detection, twirling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.kraus import KrausChannel
+from repro.channels.standard import (
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    generalized_amplitude_damping,
+    pauli_channel,
+    phase_damping,
+    phase_flip,
+    reset_channel,
+    two_qubit_depolarizing,
+)
+from repro.channels.unitary_mixture import as_unitary_mixture, is_unitary_mixture
+from repro.errors import ChannelError
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+small_probs = st.floats(min_value=0.0, max_value=0.3, allow_nan=False)
+
+ALL_CHANNELS = [
+    depolarizing(0.1),
+    two_qubit_depolarizing(0.05),
+    bit_flip(0.2),
+    phase_flip(0.15),
+    pauli_channel(0.05, 0.02, 0.08),
+    amplitude_damping(0.3),
+    generalized_amplitude_damping(0.25, 0.1),
+    phase_damping(0.2),
+    reset_channel(0.1),
+]
+
+
+class TestCPTP:
+    @pytest.mark.parametrize("channel", ALL_CHANNELS, ids=lambda c: c.name)
+    def test_standard_channels_are_cptp(self, channel):
+        dim = channel.dim
+        total = sum(k.conj().T @ k for k in channel.kraus_ops)
+        assert np.allclose(total, np.eye(dim), atol=1e-10)
+
+    def test_cptp_violation_rejected(self):
+        with pytest.raises(ChannelError):
+            KrausChannel("bad", [np.eye(2) * 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChannelError):
+            KrausChannel("empty", [])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ChannelError):
+            KrausChannel("bad", [np.eye(2), np.eye(4)])
+
+    @pytest.mark.parametrize("channel", ALL_CHANNELS, ids=lambda c: c.name)
+    def test_nominal_probs_sum_to_one(self, channel):
+        assert abs(sum(channel.nominal_probs) - 1.0) < 1e-10
+
+    @pytest.mark.parametrize("channel", ALL_CHANNELS, ids=lambda c: c.name)
+    def test_choi_matrix_is_psd_with_trace_dim(self, channel):
+        choi = channel.choi_matrix()
+        eigs = np.linalg.eigvalsh(choi)
+        assert eigs.min() > -1e-10
+        assert abs(np.trace(choi).real - channel.dim) < 1e-9
+
+    @given(small_probs)
+    @settings(max_examples=25, deadline=None)
+    def test_depolarizing_cptp_for_any_p(self, p):
+        ch = depolarizing(p)
+        total = sum(k.conj().T @ k for k in ch.kraus_ops)
+        assert np.allclose(total, np.eye(2), atol=1e-10)
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ChannelError):
+            depolarizing(1.5)
+        with pytest.raises(ChannelError):
+            bit_flip(-0.1)
+        with pytest.raises(ChannelError):
+            pauli_channel(0.6, 0.5, 0.3)
+
+
+class TestUnitaryMixture:
+    @pytest.mark.parametrize(
+        "channel",
+        [depolarizing(0.1), bit_flip(0.2), phase_flip(0.1), pauli_channel(0.1, 0.05, 0.02),
+         two_qubit_depolarizing(0.07)],
+        ids=lambda c: c.name,
+    )
+    def test_pauli_channels_detected(self, channel):
+        mixture = as_unitary_mixture(channel)
+        assert mixture is not None
+        assert abs(sum(mixture.probs) - 1.0) < 1e-9
+        for u in mixture.unitaries:
+            assert np.allclose(u @ u.conj().T, np.eye(u.shape[0]), atol=1e-9)
+
+    @pytest.mark.parametrize(
+        "channel",
+        [amplitude_damping(0.3), phase_damping(0.2), reset_channel(0.2),
+         generalized_amplitude_damping(0.2, 0.3)],
+        ids=lambda c: c.name,
+    )
+    def test_general_channels_rejected(self, channel):
+        assert as_unitary_mixture(channel) is None
+        assert not is_unitary_mixture(channel)
+
+    def test_mixture_reconstructs_kraus(self):
+        ch = depolarizing(0.25)
+        mixture = as_unitary_mixture(ch)
+        for p, u, k in zip(mixture.probs, mixture.unitaries, ch.kraus_ops):
+            assert np.allclose(np.sqrt(p) * u, k)
+
+    def test_probabilities_state_independent_claim(self, rng):
+        """For unitary mixtures the nominal probs equal state probs."""
+        from repro.linalg import random_statevector
+
+        ch = depolarizing(0.3)
+        psi = random_statevector(1, rng)
+        for k, p_nominal in zip(ch.kraus_ops, ch.nominal_probs):
+            phi = k @ psi
+            assert abs(np.vdot(phi, phi).real - p_nominal) < 1e-10
+
+
+class TestChannelMethods:
+    def test_dominant_index_is_identityish(self):
+        assert depolarizing(0.1).dominant_index() == 0
+        assert amplitude_damping(0.2).dominant_index() == 0
+
+    def test_is_trivial(self):
+        ident = KrausChannel("id", [np.eye(2)])
+        assert ident.is_trivial()
+        assert not depolarizing(0.1).is_trivial()
+
+    def test_apply_to_density_matrix_preserves_trace(self):
+        rho = np.array([[0.7, 0.2j], [-0.2j, 0.3]])
+        for ch in ALL_CHANNELS:
+            if ch.num_qubits != 1:
+                continue
+            out = ch.apply_to_density_matrix(rho)
+            assert abs(np.trace(out) - 1.0) < 1e-10
+
+    def test_depolarizing_contracts_bloch(self):
+        rho = np.array([[1.0, 0.0], [0.0, 0.0]])  # |0><0|, bloch z=+1
+        out = depolarizing(0.3).apply_to_density_matrix(rho)
+        z = np.real(out[0, 0] - out[1, 1])
+        assert abs(z - (1 - 0.4)) < 1e-10  # 1 - 4p/3 with p=0.3
+
+    def test_compose_unitary(self):
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        ch = bit_flip(0.1).compose_unitary(h, before=True)
+        total = sum(k.conj().T @ k for k in ch.kraus_ops)
+        assert np.allclose(total, np.eye(2), atol=1e-10)
+
+
+class TestPauliTwirl:
+    def test_twirled_is_pauli_mixture(self):
+        twirled = amplitude_damping(0.3).pauli_twirl()
+        assert is_unitary_mixture(twirled)
+
+    def test_twirl_preserves_pauli_channels(self):
+        ch = depolarizing(0.2)
+        twirled = ch.pauli_twirl()
+        assert np.allclose(sorted(twirled.nominal_probs), sorted(ch.nominal_probs), atol=1e-9)
+
+    def test_twirl_matches_exact_average(self):
+        """Twirled channel = average over Pauli conjugations of the original."""
+        from repro.channels.pauli import pauli_string_matrix
+
+        ch = amplitude_damping(0.4)
+        rho = np.array([[0.6, 0.1 + 0.2j], [0.1 - 0.2j, 0.4]])
+        twirled_out = ch.pauli_twirl().apply_to_density_matrix(rho)
+        avg = np.zeros((2, 2), dtype=complex)
+        for lab in "IXYZ":
+            p = pauli_string_matrix(lab)
+            avg += p @ ch.apply_to_density_matrix(p @ rho @ p) @ p / 4.0
+        assert np.allclose(twirled_out, avg, atol=1e-9)
+
+    def test_twirl_rejects_multiqubit(self):
+        with pytest.raises(ChannelError):
+            two_qubit_depolarizing(0.1).pauli_twirl()

@@ -1,0 +1,140 @@
+"""Circuit IR: construction, freezing, composition, views."""
+
+import numpy as np
+import pytest
+
+from repro.channels.standard import depolarizing, two_qubit_depolarizing
+from repro.circuits import Circuit
+from repro.circuits.gates import CX, H, X
+from repro.circuits.operations import GateOp, MeasureOp, NoiseOp
+from repro.errors import CircuitError
+
+
+class TestConstruction:
+    def test_fluent_api_chains(self):
+        circ = Circuit(2).h(0).cx(0, 1).measure_all()
+        assert len(circ) == 3
+        assert circ.num_gates() == 2
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_rejects_out_of_range_qubit(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).h(2)
+
+    def test_rejects_duplicate_qubits(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).cx(1, 1)
+
+    def test_gate_arity_mismatch(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).gate(CX, 0)
+
+    def test_channel_arity_mismatch(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).attach(depolarizing(0.1), 0, 1)
+
+    def test_sqrt_pauli_shorthands(self):
+        circ = Circuit(1).sx(0).sy(0).sxdg(0).sydg(0)
+        assert [op.gate.name for op in circ.coherent_ops] == ["sx", "sy", "sxdg", "sydg"]
+
+
+class TestFreezing:
+    def test_freeze_assigns_site_ids_in_program_order(self):
+        circ = Circuit(2)
+        circ.attach(depolarizing(0.1), 0)
+        circ.h(0)
+        circ.attach(depolarizing(0.1), 1)
+        circ.freeze()
+        assert [op.site_id for op in circ.noise_sites] == [0, 1]
+
+    def test_freeze_is_idempotent(self):
+        circ = Circuit(1).h(0)
+        circ.freeze()
+        circ.freeze()
+        assert circ.frozen
+
+    def test_frozen_circuit_rejects_mutation(self):
+        circ = Circuit(1).h(0).freeze()
+        with pytest.raises(CircuitError):
+            circ.x(0)
+
+    def test_noise_sites_requires_freeze(self):
+        circ = Circuit(1)
+        circ.attach(depolarizing(0.1), 0)
+        with pytest.raises(CircuitError):
+            _ = circ.noise_sites
+
+    def test_copy_unfreezes(self):
+        circ = Circuit(1).h(0).freeze()
+        dup = circ.copy()
+        assert not dup.frozen
+        dup.x(0)  # mutable again
+        assert len(dup) == 2
+        assert len(circ) == 1
+
+
+class TestViews:
+    def test_coherent_noise_measure_partition(self, noisy_ghz3):
+        total = len(noisy_ghz3)
+        parts = (
+            noisy_ghz3.num_gates()
+            + noisy_ghz3.num_noise_sites()
+            + len(noisy_ghz3.measurements)
+        )
+        assert total == parts
+
+    def test_measured_qubits_in_order(self):
+        circ = Circuit(3).measure(2, 0)
+        assert circ.measured_qubits == (2, 0)
+
+    def test_without_noise_strips_channels(self, noisy_ghz3):
+        ideal = noisy_ghz3.without_noise()
+        assert ideal.num_noise_sites() == 0
+        assert ideal.num_gates() == noisy_ghz3.num_gates()
+
+    def test_without_measurements(self, noisy_ghz3):
+        stripped = noisy_ghz3.without_measurements()
+        assert len(stripped.measurements) == 0
+
+    def test_depth_parallel_gates(self):
+        circ = Circuit(4).h(0).h(1).h(2).h(3).cx(0, 1).cx(2, 3)
+        assert circ.depth() == 2
+
+
+class TestComposition:
+    def test_extend_with_map(self):
+        inner = Circuit(2).h(0).cx(0, 1)
+        outer = Circuit(4)
+        outer.extend(inner, qubit_map=[2, 3])
+        ops = outer.coherent_ops
+        assert ops[0].qubits == (2,)
+        assert ops[1].qubits == (2, 3)
+
+    def test_extend_rejects_bad_map_length(self):
+        with pytest.raises(CircuitError):
+            Circuit(4).extend(Circuit(2).h(0), qubit_map=[0])
+
+    def test_extend_carries_noise_and_measurements(self, noisy_ghz3):
+        outer = Circuit(3)
+        outer.extend(noisy_ghz3)
+        outer.freeze()
+        assert outer.num_noise_sites() == noisy_ghz3.num_noise_sites()
+        assert len(outer.measurements) == len(noisy_ghz3.measurements)
+
+
+class TestUnitary:
+    def test_ghz_unitary(self):
+        circ = Circuit(2).h(0).cx(0, 1)
+        u = circ.unitary()
+        state = u @ np.eye(4)[:, 0]
+        expected = np.zeros(4, dtype=complex)
+        expected[0b00] = expected[0b11] = 1 / np.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_unitary_is_unitary(self):
+        circ = Circuit(3).h(0).cx(0, 1).t(2).cz(1, 2)
+        u = circ.unitary()
+        assert np.allclose(u @ u.conj().T, np.eye(8), atol=1e-10)

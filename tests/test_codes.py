@@ -1,0 +1,166 @@
+"""Stabilizer codes: verification, logicals, distances, syndromes."""
+
+import numpy as np
+import pytest
+
+from repro.channels.pauli import PauliString
+from repro.errors import QECError
+from repro.qec import gf2
+from repro.qec.codes import CSSCode, repetition_code, rotated_surface_code, steane_code
+from repro.qec.color_codes import color_code_layout, triangular_color_code
+from repro.qec.five_qubit import FiveQubitCode
+
+
+class TestCSSBasics:
+    def test_noncommuting_checks_rejected(self):
+        hx = np.array([[1, 0]], dtype=np.uint8)
+        hz = np.array([[1, 0]], dtype=np.uint8)
+        with pytest.raises(QECError):
+            CSSCode(hx, hz)
+
+    def test_logical_pair_anticommutes(self):
+        code = steane_code()
+        lx, lz = code.logical_x(), code.logical_z()
+        assert not lx.commutes_with(lz)
+
+    def test_logicals_commute_with_stabilizers(self):
+        for code in (steane_code(), rotated_surface_code(3)):
+            for stab in code.stabilizers():
+                assert code.logical_x().commutes_with(stab)
+                assert code.logical_z().commutes_with(stab)
+
+    def test_logicals_not_in_stabilizer_group(self):
+        code = steane_code()
+        assert not gf2.row_space_contains(code.hx, code.logical_x_support())
+        assert not gf2.row_space_contains(code.hz, code.logical_z_support())
+
+
+class TestSteane:
+    def test_parameters(self):
+        code = steane_code()
+        assert (code.n, code.k) == (7, 1)
+        assert code.distance() == 3
+
+    def test_weight_three_logicals_exist(self):
+        assert steane_code().distance(max_weight=3) == 3
+
+    def test_syndrome_of_single_errors_unique(self):
+        """d=3: all weight-1 errors have distinct, nonzero syndromes."""
+        code = steane_code()
+        seen = set()
+        for q in range(7):
+            for kind in "XYZ":
+                synd = code.syndrome_of(PauliString.single(7, q, kind)).tobytes()
+                assert any(b for b in synd)
+                assert synd not in seen
+                seen.add(synd)
+
+    def test_stabilizer_weights_are_four(self):
+        code = steane_code()
+        assert all(row.sum() == 4 for row in code.hx)
+
+
+class TestColorCodes:
+    def test_family_parameters(self):
+        for d in (3, 5):
+            code = triangular_color_code(d)
+            assert code.n == (3 * d**2 + 1) // 4
+            assert code.k == 1
+
+    def test_d3_is_steane_sized(self):
+        assert triangular_color_code(3).n == 7
+
+    def test_d3_distance(self):
+        assert triangular_color_code(3).distance() == 3
+
+    @pytest.mark.slow
+    def test_d5_distance_exactly_five(self):
+        code = triangular_color_code(5)
+        assert code.verify_distance_at_least(5)
+        assert code.distance(max_weight=5) == 5
+
+    def test_face_weights(self):
+        _, faces = color_code_layout(5)
+        weights = sorted(len(f) for f in faces)
+        assert weights == [4, 4, 4, 4, 4, 4, 6, 6, 6]
+
+    def test_self_dual(self):
+        code = triangular_color_code(5)
+        assert np.array_equal(code.hx, code.hz)
+
+    def test_even_distance_rejected(self):
+        with pytest.raises(QECError):
+            triangular_color_code(4)
+
+
+class TestSurfaceCodes:
+    def test_d3_parameters(self):
+        code = rotated_surface_code(3)
+        assert (code.n, code.k) == (9, 1)
+        assert code.distance() == 3
+
+    @pytest.mark.slow
+    def test_d5_parameters(self):
+        code = rotated_surface_code(5)
+        assert (code.n, code.k) == (25, 1)
+        assert code.verify_distance_at_least(5)
+
+    def test_even_d_rejected(self):
+        with pytest.raises(QECError):
+            rotated_surface_code(4)
+
+
+class TestRepetition:
+    def test_parameters(self):
+        code = repetition_code(5)
+        assert (code.n, code.k) == (5, 1)
+
+    def test_distance_is_one(self):
+        # Bit-flip code: a single Z is an undetected logical.
+        assert repetition_code(5).distance() == 1
+
+    def test_corrects_x_errors_syndromewise(self):
+        code = repetition_code(5)
+        syndromes = set()
+        for q in range(5):
+            s = code.syndrome_of(PauliString.single(5, q, "X")).tobytes()
+            assert s not in syndromes
+            syndromes.add(s)
+
+
+class TestFiveQubit:
+    def test_projector_rank_two(self):
+        code = FiveQubitCode()
+        assert np.linalg.matrix_rank(code.projector) == 2
+
+    def test_projector_idempotent(self):
+        p = FiveQubitCode().projector
+        assert np.allclose(p @ p, p, atol=1e-10)
+
+    def test_logical_basis_orthonormal(self):
+        zero_l, one_l = FiveQubitCode().logical_basis
+        assert abs(np.vdot(zero_l, zero_l) - 1) < 1e-10
+        assert abs(np.vdot(one_l, one_l) - 1) < 1e-10
+        assert abs(np.vdot(zero_l, one_l)) < 1e-10
+
+    def test_codewords_stabilized(self):
+        code = FiveQubitCode()
+        zero_l, one_l = code.logical_basis
+        for s in code.stabilizers:
+            mat = s.to_matrix()
+            assert np.allclose(mat @ zero_l, zero_l, atol=1e-10)
+            assert np.allclose(mat @ one_l, one_l, atol=1e-10)
+
+    def test_logical_state_superposition(self):
+        code = FiveQubitCode()
+        psi = code.logical_state(1 / np.sqrt(2), 1 / np.sqrt(2))
+        xl = code.logical_x.to_matrix()
+        assert abs(np.vdot(psi, xl @ psi) - 1.0) < 1e-10
+
+    def test_decode_density_matrix_acceptance(self):
+        code = FiveQubitCode()
+        zero_l, _ = code.logical_basis
+        rho = np.outer(zero_l, zero_l.conj())
+        logical, acceptance = code.decode_density_matrix(rho)
+        assert acceptance == pytest.approx(1.0)
+        assert logical[0, 0].real == pytest.approx(1.0)

@@ -1,0 +1,171 @@
+"""Gate library correctness: matrices, algebra, Clifford detection."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    CCX,
+    CX,
+    CZ,
+    H,
+    RX,
+    RY,
+    RZ,
+    S,
+    SDG,
+    SWAP,
+    SX,
+    SXDG,
+    SY,
+    SYDG,
+    T,
+    TDG,
+    U3,
+    X,
+    Y,
+    Z,
+    Gate,
+    controlled,
+    gate_by_name,
+)
+from repro.errors import GateError
+from repro.linalg import is_unitary
+
+
+ALL_FIXED = [X, Y, Z, H, S, SDG, T, TDG, SX, SXDG, SY, SYDG, CX, CZ, SWAP, CCX]
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("gate", ALL_FIXED, ids=lambda g: g.name)
+    def test_all_gates_unitary(self, gate):
+        assert is_unitary(gate.matrix)
+
+    def test_sx_squares_to_x(self):
+        assert np.allclose(SX.matrix @ SX.matrix, X.matrix)
+
+    def test_sy_squares_to_y(self):
+        assert np.allclose(SY.matrix @ SY.matrix, Y.matrix)
+
+    def test_sxdg_is_sx_adjoint(self):
+        assert np.allclose(SXDG.matrix, SX.matrix.conj().T)
+
+    def test_sydg_is_sy_adjoint(self):
+        assert np.allclose(SYDG.matrix, SY.matrix.conj().T)
+
+    def test_s_squares_to_z(self):
+        assert np.allclose(S.matrix @ S.matrix, Z.matrix)
+
+    def test_t_squares_to_s(self):
+        assert np.allclose(T.matrix @ T.matrix, S.matrix)
+
+    def test_hzh_is_x(self):
+        assert np.allclose(H.matrix @ Z.matrix @ H.matrix, X.matrix)
+
+    def test_cx_action(self):
+        state = np.zeros(4)
+        state[0b10] = 1.0  # control (qubit 0) set
+        assert np.argmax(np.abs(CX.matrix @ state)) == 0b11
+
+    def test_ccx_action(self):
+        state = np.zeros(8)
+        state[0b110] = 1.0
+        assert np.argmax(np.abs(CCX.matrix @ state)) == 0b111
+
+    def test_swap_action(self):
+        state = np.zeros(4)
+        state[0b01] = 1.0
+        assert np.argmax(np.abs(SWAP.matrix @ state)) == 0b10
+
+
+class TestParametricGates:
+    def test_rx_pi_is_x_up_to_phase(self):
+        mat = RX(np.pi).matrix
+        assert np.allclose(mat, -1j * X.matrix)
+
+    def test_ry_pi_is_y_up_to_phase(self):
+        assert np.allclose(RY(np.pi).matrix, -1j * Y.matrix)
+
+    def test_rz_composition(self):
+        assert np.allclose(RZ(0.3).matrix @ RZ(0.4).matrix, RZ(0.7).matrix)
+
+    def test_u3_covers_hadamard(self):
+        mat = U3(np.pi / 2, 0.0, np.pi).matrix
+        # H equals u3(pi/2, 0, pi) exactly in this convention.
+        assert np.allclose(mat, H.matrix)
+
+    def test_params_recorded(self):
+        assert RX(0.5).params == (0.5,)
+
+
+class TestGateClass:
+    def test_rejects_nonunitary(self):
+        with pytest.raises(GateError):
+            Gate("bad", np.array([[1, 1], [0, 1]]))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(GateError):
+            Gate("bad", np.ones((2, 3)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(GateError):
+            Gate("bad", np.eye(3))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            X.name = "other"
+
+    def test_adjoint_roundtrip(self):
+        assert np.allclose(S.adjoint().matrix, SDG.matrix)
+        assert S.adjoint().name == "sdg"
+        assert SDG.adjoint().name == "s"
+
+    def test_power(self):
+        assert np.allclose(Z.power(0.5).matrix, S.matrix)
+
+    def test_equality_and_hash(self):
+        other = Gate("x", X.matrix.copy(), check=False)
+        assert other == X
+        assert hash(other) == hash(X)
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        g = pickle.loads(pickle.dumps(RX(0.7)))
+        assert g == RX(0.7)
+
+    @pytest.mark.parametrize("gate", [H, S, CX, CZ, SX, SY, SWAP], ids=lambda g: g.name)
+    def test_clifford_detection_positive(self, gate):
+        assert gate.is_clifford()
+
+    @pytest.mark.parametrize("gate", [T, TDG, RX(0.3)], ids=lambda g: g.name)
+    def test_clifford_detection_negative(self, gate):
+        assert not gate.is_clifford()
+
+
+class TestControlled:
+    def test_controlled_x_is_cx(self):
+        assert np.allclose(controlled(X).matrix, CX.matrix)
+
+    def test_double_controlled_x_is_ccx(self):
+        assert np.allclose(controlled(X, 2).matrix, CCX.matrix)
+
+    def test_controlled_rejects_zero_controls(self):
+        with pytest.raises(GateError):
+            controlled(X, 0)
+
+
+class TestLookup:
+    def test_fixed_lookup(self):
+        assert gate_by_name("H") is H
+        assert gate_by_name("cx") is CX
+
+    def test_parametric_lookup(self):
+        assert np.allclose(gate_by_name("rx", 0.4).matrix, RX(0.4).matrix)
+
+    def test_unknown_gate(self):
+        with pytest.raises(GateError):
+            gate_by_name("nope")
+
+    def test_fixed_gate_rejects_params(self):
+        with pytest.raises(GateError):
+            gate_by_name("h", 0.3)

@@ -1,0 +1,94 @@
+"""GF(2) linear algebra (+ hypothesis round-trips)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import QECError
+from repro.qec import gf2
+
+gf2_matrix = arrays(np.uint8, (5, 7), elements=st.integers(0, 1))
+
+
+class TestRREF:
+    def test_identity_unchanged(self):
+        eye = np.eye(3, dtype=np.uint8)
+        red, pivots = gf2.rref(eye)
+        assert np.array_equal(red, eye)
+        assert pivots == [0, 1, 2]
+
+    def test_dependent_rows_eliminated(self):
+        m = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0]], dtype=np.uint8)
+        red, pivots = gf2.rref(m)
+        assert len(pivots) == 2
+        assert not np.any(red[2])
+
+    @given(gf2_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_rref_preserves_row_space(self, m):
+        red, pivots = gf2.rref(m)
+        # Every original row must be a combination of RREF rows and vice versa.
+        assert gf2.rank(np.vstack([m, red])) == gf2.rank(m) == len(pivots)
+
+    @given(gf2_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_pivot_columns_are_unit(self, m):
+        red, pivots = gf2.rref(m)
+        for r, c in enumerate(pivots):
+            col = red[:, c]
+            assert col[r] == 1 and col.sum() == 1
+
+
+class TestNullspace:
+    @given(gf2_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_nullspace_vectors_annihilate(self, m):
+        ns = gf2.nullspace(m)
+        if ns.shape[0]:
+            assert not np.any((m @ ns.T) % 2)
+
+    @given(gf2_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_rank_nullity(self, m):
+        assert gf2.rank(m) + gf2.nullspace(m).shape[0] == m.shape[1]
+
+    def test_full_rank_has_trivial_nullspace(self):
+        assert gf2.nullspace(np.eye(4, dtype=np.uint8)).shape[0] == 0
+
+
+class TestSolve:
+    def test_solves_consistent_system(self):
+        m = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        b = np.array([1, 0], dtype=np.uint8)
+        x = gf2.solve(m, b)
+        assert x is not None
+        assert np.array_equal((m @ x) % 2, b)
+
+    def test_detects_infeasible(self):
+        m = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        assert gf2.solve(m, np.array([0, 1], dtype=np.uint8)) is None
+
+    @given(gf2_matrix, arrays(np.uint8, 7, elements=st.integers(0, 1)))
+    @settings(max_examples=40, deadline=None)
+    def test_solution_verifies(self, m, x_true):
+        b = (m @ x_true) % 2
+        x = gf2.solve(m, b)
+        assert x is not None
+        assert np.array_equal((m @ x) % 2, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(QECError):
+            gf2.solve(np.eye(2, dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+
+
+class TestRowSpace:
+    def test_membership(self):
+        m = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        assert gf2.row_space_contains(m, np.array([1, 0, 1]))
+        assert not gf2.row_space_contains(m, np.array([1, 0, 0]))
+
+    def test_zero_always_member(self):
+        m = np.array([[1, 0]], dtype=np.uint8)
+        assert gf2.row_space_contains(m, np.zeros(2, dtype=np.uint8))

@@ -1,0 +1,135 @@
+"""Prebuilt circuits, moment scheduling, transpilation passes."""
+
+import numpy as np
+import pytest
+
+from repro.backends.statevector import StatevectorBackend
+from repro.channels import NoiseModel, depolarizing
+from repro.circuits import Circuit, library
+from repro.circuits.gates import CCX
+from repro.circuits.moments import moment_index_of_ops, schedule_moments
+from repro.circuits.transpile import count_ops, decompose_to_2q, merge_single_qubit_runs
+from repro.errors import CircuitError
+from repro.rng import make_rng
+
+
+class TestLibrary:
+    def test_ghz_state(self):
+        sv = StatevectorBackend(4)
+        sv.run_fixed(library.ghz(4).freeze())
+        probs = sv.probabilities()
+        assert probs[0] == pytest.approx(0.5, abs=1e-10)
+        assert probs[-1] == pytest.approx(0.5, abs=1e-10)
+
+    def test_qft_matches_dft_matrix(self):
+        n = 3
+        circ = library.qft(n)
+        u = circ.unitary()
+        dim = 2**n
+        dft = np.array(
+            [[np.exp(2j * np.pi * j * k / dim) for k in range(dim)] for j in range(dim)]
+        ) / np.sqrt(dim)
+        # Compare up to global phase.
+        phase = u[0, 0] / dft[0, 0]
+        assert np.allclose(u, phase * dft, atol=1e-9)
+
+    def test_random_brickwork_deterministic_per_rng(self):
+        a = library.random_brickwork(4, 3, rng=make_rng(5))
+        b = library.random_brickwork(4, 3, rng=make_rng(5))
+        assert len(a) == len(b)
+        for opa, opb in zip(a.coherent_ops, b.coherent_ops):
+            assert opa.gate.params == opb.gate.params
+
+    def test_mirror_returns_to_zero(self):
+        circ = library.mirror_benchmark(4, 3, rng=make_rng(6)).freeze()
+        sv = StatevectorBackend(4)
+        sv.run_fixed(circ)
+        assert abs(sv.statevector[0]) == pytest.approx(1.0, abs=1e-8)
+
+    def test_noisy_helper_freezes(self):
+        model = NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(0.01))
+        noisy = library.noisy(library.ghz(3, measure=True), model)
+        assert noisy.frozen
+        assert noisy.num_noise_sites() == 4
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(CircuitError):
+            library.random_brickwork(2, -1)
+
+
+class TestMoments:
+    def test_parallel_ops_share_moment(self):
+        circ = Circuit(4).h(0).h(1).cx(0, 1).h(2)
+        moments = schedule_moments(circ)
+        assert len(moments) == 2
+        assert len(moments[0]) == 3  # h0, h1, h2
+
+    def test_dependencies_respected(self):
+        circ = Circuit(2).h(0).cx(0, 1).h(1)
+        idx = moment_index_of_ops(circ)
+        assert idx[0] == 0 and idx[1] == 1 and idx[2] == 2
+
+    def test_noise_ops_occupy_moments(self):
+        circ = Circuit(1)
+        circ.h(0)
+        circ.attach(depolarizing(0.1), 0)
+        circ.h(0)
+        assert len(schedule_moments(circ)) == 3
+
+
+class TestMergeSingleQubitRuns:
+    def test_merges_adjacent_gates(self):
+        circ = Circuit(1).h(0).s(0).h(0)
+        fused = merge_single_qubit_runs(circ)
+        assert fused.num_gates() == 1
+        assert np.allclose(fused.unitary(), circ.unitary(), atol=1e-10)
+
+    def test_noise_is_a_barrier(self):
+        circ = Circuit(1)
+        circ.h(0)
+        circ.attach(depolarizing(0.1), 0)
+        circ.h(0)
+        fused = merge_single_qubit_runs(circ)
+        assert fused.num_gates() == 2  # H | noise | H must not merge
+
+    def test_two_qubit_gate_is_a_barrier(self):
+        circ = Circuit(2).h(0).cx(0, 1).h(0)
+        fused = merge_single_qubit_runs(circ)
+        assert fused.num_gates() == 3
+
+    def test_semantics_preserved_on_random_circuit(self):
+        circ = library.random_brickwork(4, 3, rng=make_rng(7))
+        fused = merge_single_qubit_runs(circ)
+        assert fused.num_gates() < circ.num_gates()
+        sv_a, sv_b = StatevectorBackend(4), StatevectorBackend(4)
+        sv_a.run_fixed(circ.copy().freeze())
+        sv_b.run_fixed(fused.freeze())
+        assert abs(np.vdot(sv_a.statevector, sv_b.statevector)) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestDecompose:
+    def test_toffoli_decomposition_exact(self):
+        circ = Circuit(3).gate(CCX, 0, 1, 2)
+        flat = decompose_to_2q(circ)
+        assert max(len(op.qubits) for op in flat.coherent_ops) <= 2
+        assert np.allclose(flat.unitary(), circ.unitary(), atol=1e-9)
+
+    def test_non_ccx_wide_gate_rejected(self):
+        from repro.circuits.gates import Gate
+
+        wide = Gate("wide", np.eye(8), check=False)
+        circ = Circuit(3).gate(wide, 0, 1, 2)
+        with pytest.raises(CircuitError):
+            decompose_to_2q(circ)
+
+    def test_passthrough_for_2q_circuits(self, noisy_ghz3):
+        flat = decompose_to_2q(noisy_ghz3)
+        assert len(flat) == len(noisy_ghz3)
+
+
+class TestCountOps:
+    def test_histogram(self, noisy_ghz3):
+        counts = count_ops(noisy_ghz3)
+        assert counts["cx"] == 2
+        assert counts["h"] == 1
+        assert counts["depolarizing(0.05)"] == 4

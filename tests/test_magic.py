@@ -1,0 +1,173 @@
+"""Magic-state distillation: exact protocol physics + benchmark circuits."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends.statevector import StatevectorBackend
+from repro.errors import QECError
+from repro.qec import distill_5_to_1, steane_code
+from repro.qec.color_codes import triangular_color_code
+from repro.qec.magic import (
+    MAGIC_BLOCH,
+    bloch_from_expectations,
+    magic_state_fidelity,
+    magic_state_vector,
+    msd_benchmark_circuit,
+    msd_preparation_circuit,
+    noisy_magic_state,
+)
+
+
+class TestMagicState:
+    def test_bloch_vector(self):
+        t = magic_state_vector()
+        rho = np.outer(t, t.conj())
+        x = np.real(np.trace(rho @ np.array([[0, 1], [1, 0]])))
+        y = np.real(np.trace(rho @ np.array([[0, -1j], [1j, 0]])))
+        z = np.real(np.trace(rho @ np.array([[1, 0], [0, -1]])))
+        assert np.allclose([x, y, z], MAGIC_BLOCH, atol=1e-10)
+
+    def test_noisy_state_trace_one(self):
+        rho = noisy_magic_state(0.2)
+        assert np.trace(rho).real == pytest.approx(1.0)
+
+    def test_noisy_state_fidelity(self):
+        t = magic_state_vector()
+        for eps in (0.0, 0.1, 0.5):
+            rho = noisy_magic_state(eps)
+            assert np.vdot(t, rho @ t).real == pytest.approx(1 - eps, abs=1e-10)
+
+    def test_fidelity_from_bloch(self):
+        assert magic_state_fidelity(MAGIC_BLOCH) == pytest.approx(1.0)
+        assert magic_state_fidelity(-MAGIC_BLOCH) == pytest.approx(0.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(QECError):
+            noisy_magic_state(1.5)
+
+
+class TestDistillationPhysics:
+    """The Bravyi-Kitaev hallmarks — the repository's physics anchor."""
+
+    def test_perfect_input_gives_perfect_output(self):
+        out = distill_5_to_1(0.0)
+        assert out.epsilon_out == pytest.approx(0.0, abs=1e-10)
+
+    def test_quadratic_suppression_coefficient(self):
+        # eps_out -> 5 eps**2 as eps -> 0.
+        for eps in (0.005, 0.01, 0.02):
+            ratio = distill_5_to_1(eps).suppression_ratio()
+            assert ratio == pytest.approx(5.0, rel=0.15)
+
+    def test_acceptance_approaches_one_sixth(self):
+        assert distill_5_to_1(0.001).acceptance == pytest.approx(1 / 6, rel=0.02)
+
+    def test_bravyi_kitaev_threshold(self):
+        """Improvement below (1-sqrt(3/7))/2 ~ 0.1727, degradation above."""
+        threshold = (1 - math.sqrt(3 / 7)) / 2
+        below = distill_5_to_1(threshold - 0.01)
+        above = distill_5_to_1(threshold + 0.01)
+        assert below.epsilon_out < below.epsilon_in
+        assert above.epsilon_out > above.epsilon_in
+
+    def test_output_error_monotone_in_input(self):
+        errs = [distill_5_to_1(e).epsilon_out for e in (0.01, 0.03, 0.05, 0.1)]
+        assert errs == sorted(errs)
+
+    def test_output_is_t_type_corner(self):
+        out = distill_5_to_1(0.02)
+        corner = np.array(out.target_corner)
+        assert abs(np.linalg.norm(corner) - 1.0) < 1e-10
+        assert np.allclose(np.abs(corner), 1 / math.sqrt(3), atol=1e-10)
+
+
+class TestBenchmarkCircuits:
+    def test_bare_circuit_shape(self):
+        circ = msd_benchmark_circuit(None)
+        assert circ.num_qubits == 5
+        names = {op.gate.name for op in circ.coherent_ops}
+        assert {"sx", "sy", "sxdg", "cz"} <= names
+
+    def test_steane_encoded_is_35_qubits(self):
+        circ = msd_benchmark_circuit(steane_code())
+        assert circ.num_qubits == 35  # the paper's statevector workload
+
+    def test_color5_prep_is_95_qubits(self):
+        circ = msd_preparation_circuit(triangular_color_code(5))
+        assert circ.num_qubits == 95  # stands in for the paper's 85
+
+    def test_three_bases_differ_only_in_readout(self):
+        z = msd_benchmark_circuit(None, basis="z")
+        x = msd_benchmark_circuit(None, basis="x")
+        y = msd_benchmark_circuit(None, basis="y")
+        assert x.num_gates() == z.num_gates() + 1  # one H on the top wire
+        assert y.num_gates() == z.num_gates() + 2  # sdg + h
+
+    def test_invalid_basis(self):
+        with pytest.raises(QECError):
+            msd_benchmark_circuit(None, basis="w")
+
+    def test_circuit_contains_non_clifford_prep(self):
+        """The workload must be universal (why Stim can't run it)."""
+        circ = msd_benchmark_circuit(None)
+        names = [op.gate.name for op in circ.coherent_ops]
+        assert "ry" in names and "rz" in names
+
+    def test_three_basis_fidelity_of_unentangled_magic_wire(self):
+        """Measure a bare magic state in 3 bases and reconstruct F ~ 1.
+
+        Uses the preparation circuit of a single wire (no entangling
+        gates), the measurement procedure of Fig. 3's caption.
+        """
+        from repro.circuits import Circuit
+        from repro.rng import make_rng
+
+        expectations = {}
+        for basis in "xyz":
+            circ = Circuit(1)
+            beta = 0.5 * math.acos(1 / math.sqrt(3))
+            circ.ry(2 * beta, 0).rz(math.pi / 4, 0)
+            if basis == "x":
+                circ.h(0)
+            elif basis == "y":
+                circ.sdg(0).h(0)
+            circ.measure_all().freeze()
+            sv = StatevectorBackend(1)
+            sv.run_fixed(circ)
+            bits = sv.sample(200_000, [0], make_rng(ord(basis)))
+            expectations[basis] = 1.0 - 2.0 * bits.mean()
+        bloch = bloch_from_expectations(
+            expectations["x"], expectations["y"], expectations["z"]
+        )
+        assert magic_state_fidelity(bloch) == pytest.approx(1.0, abs=0.01)
+
+    def test_encoded_magic_block_is_logical_magic_state(self):
+        """One encoded block: stabilizers +1 and the *logical* Bloch vector
+        equals the bare magic state's (encoder linearity carries the
+        non-Clifford payload into the code space)."""
+        from repro.channels.pauli import PauliString
+        from repro.circuits import Circuit
+        from repro.qec.encoding import css_encoding_circuit
+
+        code = steane_code()
+        encoder, info = css_encoding_circuit(code)
+        circ = Circuit(code.n)
+        beta = 0.5 * math.acos(1 / math.sqrt(3))
+        circ.ry(2 * beta, info.data_qubits[0]).rz(math.pi / 4, info.data_qubits[0])
+        circ.extend(encoder)
+        circ.freeze()
+        sv = StatevectorBackend(code.n)
+        sv.run_fixed(circ)
+        for stab in code.stabilizers():
+            assert sv.expectation_pauli(stab) == pytest.approx(1.0, abs=1e-8)
+        lx = PauliString(info.logical_x_rows[0], np.zeros(code.n, dtype=np.uint8))
+        lz = PauliString(np.zeros(code.n, dtype=np.uint8), info.logical_z_rows[0])
+        # Logical Y = i * Lx * Lz.
+        ly = lx * lz
+        ly = PauliString(ly.x, ly.z, (ly.phase + 1) % 4)
+        bloch = np.array(
+            [sv.expectation_pauli(lx), sv.expectation_pauli(ly), sv.expectation_pauli(lz)]
+        )
+        assert np.allclose(bloch, MAGIC_BLOCH, atol=1e-8)

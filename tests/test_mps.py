@@ -1,0 +1,157 @@
+"""MPS backend: exactness at full bond, truncation, routing, sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.mps import MPSBackend
+from repro.backends.statevector import StatevectorBackend
+from repro.channels.standard import amplitude_damping
+from repro.circuits import Circuit, library
+from repro.circuits.gates import CX, H, T, X
+from repro.errors import BackendError
+from repro.rng import make_rng
+
+
+def _run_both(circ):
+    sv = StatevectorBackend(circ.num_qubits)
+    mps = MPSBackend(circ.num_qubits, max_bond=256)
+    for op in circ.coherent_ops:
+        sv.apply_gate(op.gate, op.qubits)
+        mps.apply_gate(op.gate, op.qubits)
+    return sv, mps
+
+
+class TestExactness:
+    def test_initial_state(self):
+        mps = MPSBackend(3)
+        psi = mps.to_statevector()
+        assert abs(psi[0] - 1.0) < 1e-12
+
+    def test_single_qubit_gates(self):
+        circ = Circuit(3).h(0).x(1).t(2)
+        sv, mps = _run_both(circ)
+        assert np.allclose(mps.to_statevector(), sv.statevector, atol=1e-10)
+
+    def test_adjacent_two_qubit(self):
+        circ = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        sv, mps = _run_both(circ)
+        assert np.allclose(mps.to_statevector(), sv.statevector, atol=1e-10)
+
+    def test_long_range_two_qubit_swap_routing(self):
+        circ = Circuit(5).h(0).cx(0, 4)
+        sv, mps = _run_both(circ)
+        assert np.allclose(mps.to_statevector(), sv.statevector, atol=1e-10)
+
+    def test_reversed_target_order(self):
+        circ = Circuit(3).x(2).cx(2, 0)
+        sv, mps = _run_both(circ)
+        assert np.allclose(mps.to_statevector(), sv.statevector, atol=1e-10)
+
+    @pytest.mark.parametrize("depth", [2, 4])
+    def test_random_brickwork_exact_at_full_bond(self, depth):
+        circ = library.random_brickwork(6, depth, rng=make_rng(depth))
+        sv, mps = _run_both(circ)
+        fidelity = abs(np.vdot(sv.statevector, mps.to_statevector())) ** 2
+        assert fidelity == pytest.approx(1.0, abs=1e-9)
+        assert mps.truncation_error < 1e-12
+
+    def test_three_qubit_gate_rejected(self):
+        mps = MPSBackend(3)
+        with pytest.raises(BackendError):
+            mps.apply_matrix(np.eye(8), [0, 1, 2])
+
+
+class TestTruncation:
+    def test_bond_cap_enforced(self):
+        circ = library.random_brickwork(8, 6, rng=make_rng(1))
+        mps = MPSBackend(8, max_bond=4)
+        for op in circ.coherent_ops:
+            mps.apply_gate(op.gate, op.qubits)
+        assert max(mps.bond_dimensions()) <= 4
+        assert mps.truncation_error > 0
+
+    def test_truncation_error_decreases_with_bond(self):
+        circ = library.random_brickwork(8, 4, rng=make_rng(2))
+        errors = []
+        for chi in (2, 8, 64):
+            mps = MPSBackend(8, max_bond=chi)
+            for op in circ.coherent_ops:
+                mps.apply_gate(op.gate, op.qubits)
+            errors.append(mps.truncation_error)
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_ghz_needs_only_bond_two(self):
+        circ = library.ghz(10)
+        mps = MPSBackend(10, max_bond=2)
+        for op in circ.coherent_ops:
+            mps.apply_gate(op.gate, op.qubits)
+        assert mps.truncation_error < 1e-12
+        assert max(mps.bond_dimensions()) == 2
+
+
+class TestNormsAndExpectations:
+    def test_norm_after_unitaries(self):
+        circ = library.random_brickwork(5, 3, rng=make_rng(3))
+        mps = MPSBackend(5)
+        for op in circ.coherent_ops:
+            mps.apply_gate(op.gate, op.qubits)
+        assert mps.norm_squared() == pytest.approx(1.0, abs=1e-9)
+
+    def test_renormalize_after_kraus(self):
+        mps = MPSBackend(2)
+        mps.apply_gate(H, [0])
+        prob = mps.apply_channel_choice(amplitude_damping(0.5), [0], 1)
+        assert prob == pytest.approx(0.25)
+        assert mps.norm_squared() == pytest.approx(1.0, abs=1e-9)
+
+    def test_expectation_local_matches_statevector(self):
+        circ = library.random_brickwork(5, 3, rng=make_rng(4))
+        sv, mps = _run_both(circ)
+        z = np.diag([1.0, -1.0])
+        for q in range(5):
+            expected = sv.expectation_local(z, [q])
+            got = mps.expectation_local(z, [q])
+            assert got.real == pytest.approx(expected.real, abs=1e-8)
+
+    def test_branch_probabilities_match_statevector(self):
+        circ = library.random_brickwork(4, 2, rng=make_rng(5))
+        sv, mps = _run_both(circ)
+        ch = amplitude_damping(0.3)
+        assert np.allclose(
+            mps.branch_probabilities(ch, [2]), sv.branch_probabilities(ch, [2]), atol=1e-8
+        )
+
+    def test_inner_product(self):
+        a = MPSBackend(3)
+        b = MPSBackend(3)
+        b.apply_gate(X, [0])
+        assert abs(a.inner(a) - 1.0) < 1e-10
+        assert abs(a.inner(b)) < 1e-10
+
+
+class TestConversion:
+    def test_from_statevector_roundtrip(self, rng):
+        from repro.linalg import random_statevector
+
+        psi = random_statevector(5, rng)
+        mps = MPSBackend.from_statevector(psi)
+        assert np.allclose(mps.to_statevector(), psi, atol=1e-10)
+
+    def test_from_statevector_truncated_is_normalized_up_to_weight(self, rng):
+        from repro.linalg import random_statevector
+
+        psi = random_statevector(6, rng)
+        mps = MPSBackend.from_statevector(psi, max_bond=2)
+        assert mps.truncation_error > 0
+        fid = abs(np.vdot(psi, mps.to_statevector())) ** 2
+        assert fid < 1.0
+
+    def test_run_fixed_matches_statevector(self, noisy_ghz3):
+        mps = MPSBackend(3, max_bond=16)
+        sv = StatevectorBackend(3)
+        w_mps = mps.run_fixed(noisy_ghz3, {0: 1})
+        w_sv = sv.run_fixed(noisy_ghz3, {0: 1})
+        assert w_mps == pytest.approx(w_sv, abs=1e-9)
+        assert np.allclose(mps.to_statevector(), sv.statevector, atol=1e-8)

@@ -1,0 +1,113 @@
+"""Noise-model binding rules."""
+
+import pytest
+
+from repro.channels import NoiseModel, bit_flip, depolarizing, two_qubit_depolarizing
+from repro.circuits import Circuit
+from repro.circuits.operations import GateOp, MeasureOp, NoiseOp
+from repro.errors import NoiseModelError
+
+
+class TestGateRules:
+    def test_all_qubit_rule_fires_per_instance(self):
+        circ = Circuit(3).cx(0, 1).cx(1, 2)
+        model = NoiseModel().add_all_qubit_gate_noise("cx", two_qubit_depolarizing(0.01))
+        noisy = model.apply(circ)
+        assert noisy.num_noise_sites() == 2
+
+    def test_single_qubit_channel_fans_out_on_two_qubit_gate(self):
+        circ = Circuit(2).cx(0, 1)
+        model = NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(0.01))
+        noisy = model.apply(circ).freeze()
+        sites = noisy.noise_sites
+        assert len(sites) == 2
+        assert {s.qubits for s in sites} == {(0,), (1,)}
+
+    def test_qubit_specific_rule(self):
+        circ = Circuit(3).cx(0, 1).cx(1, 2)
+        model = NoiseModel().add_gate_noise("cx", (1, 2), two_qubit_depolarizing(0.01))
+        noisy = model.apply(circ).freeze()
+        assert noisy.num_noise_sites() == 1
+        assert noisy.noise_sites[0].qubits == (1, 2)
+
+    def test_multiple_rules_all_fire(self):
+        circ = Circuit(2).cx(0, 1)
+        model = (
+            NoiseModel()
+            .add_all_qubit_gate_noise("cx", two_qubit_depolarizing(0.01))
+            .add_all_qubit_gate_noise("cx", depolarizing(0.005))
+        )
+        noisy = model.apply(circ)
+        assert noisy.num_noise_sites() == 3  # 1 two-qubit + 2 fanned out
+
+    def test_noise_follows_gate_in_program_order(self):
+        circ = Circuit(2).h(0).cx(0, 1)
+        model = NoiseModel().add_all_qubit_gate_noise("h", depolarizing(0.01))
+        ops = list(model.apply(circ))
+        assert isinstance(ops[0], GateOp) and ops[0].gate.name == "h"
+        assert isinstance(ops[1], NoiseOp)
+        assert isinstance(ops[2], GateOp) and ops[2].gate.name == "cx"
+
+    def test_bad_arity_rule_rejected(self):
+        circ = Circuit(2).h(0)
+        model = NoiseModel().add_all_qubit_gate_noise("h", two_qubit_depolarizing(0.01))
+        with pytest.raises(NoiseModelError):
+            model.apply(circ)
+
+
+class TestBoundaryRules:
+    def test_preparation_noise_on_every_qubit(self):
+        circ = Circuit(3).h(0)
+        model = NoiseModel().add_preparation_noise(bit_flip(0.01))
+        noisy = model.apply(circ).freeze()
+        prep_sites = [op for op in noisy][:3]
+        assert all(isinstance(op, NoiseOp) for op in prep_sites)
+
+    def test_measurement_noise_before_readout(self):
+        circ = Circuit(2).h(0).measure_all()
+        model = NoiseModel().add_measurement_noise(bit_flip(0.02))
+        noisy = model.apply(circ)
+        ops = list(noisy)
+        meas_idx = next(i for i, op in enumerate(ops) if isinstance(op, MeasureOp))
+        assert isinstance(ops[meas_idx - 1], NoiseOp)
+        assert isinstance(ops[meas_idx - 2], NoiseOp)
+
+    def test_prep_noise_arity_validated(self):
+        with pytest.raises(NoiseModelError):
+            NoiseModel().add_preparation_noise(two_qubit_depolarizing(0.1))
+
+    def test_idle_noise_fills_gaps(self):
+        circ = Circuit(3).h(0).h(1)  # qubit 2 idles in moment 0
+        model = NoiseModel().add_idle_noise(depolarizing(0.001))
+        noisy = model.apply(circ).freeze()
+        idle_sites = [s for s in noisy.noise_sites if s.qubits == (2,)]
+        assert len(idle_sites) == 1
+
+    def test_idle_noise_moment_structure(self):
+        circ = Circuit(2).h(0).h(0)  # qubit 1 idles in both moments
+        model = NoiseModel().add_idle_noise(depolarizing(0.001))
+        noisy = model.apply(circ).freeze()
+        idle_on_1 = [s for s in noisy.noise_sites if s.qubits == (1,)]
+        assert len(idle_on_1) == 2
+
+
+class TestApplication:
+    def test_apply_preserves_measurements(self, ghz3):
+        model = NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(0.01))
+        noisy = model.apply(ghz3)
+        assert len(noisy.measurements) == len(ghz3.measurements)
+
+    def test_apply_returns_unfrozen(self, ghz3):
+        noisy = NoiseModel().apply(ghz3)
+        assert not noisy.frozen
+
+    def test_noop_model_copies_circuit(self, ghz3):
+        noisy = NoiseModel().apply(ghz3)
+        assert len(noisy) == len(ghz3)
+        assert noisy.num_noise_sites() == 0
+
+    def test_existing_noise_ops_preserved(self):
+        circ = Circuit(1)
+        circ.attach(depolarizing(0.1), 0)
+        noisy = NoiseModel().apply(circ)
+        assert noisy.num_noise_sites() == 1

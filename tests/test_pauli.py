@@ -1,0 +1,126 @@
+"""Pauli-string algebra: multiplication, phases, commutation (+ hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.pauli import (
+    PauliString,
+    all_pauli_labels,
+    pauli_string_matrix,
+    weight_bounded_paulis,
+)
+from repro.errors import ChannelError
+
+labels_2q = st.text(alphabet="IXYZ", min_size=2, max_size=2)
+labels_3q = st.text(alphabet="IXYZ", min_size=3, max_size=3)
+
+
+class TestConstruction:
+    def test_from_label_roundtrip(self):
+        p = PauliString.from_label("XIZY")
+        assert p.label() == "XIZY"
+
+    def test_identity(self):
+        p = PauliString.identity(4)
+        assert p.weight() == 0
+        assert p.label() == "IIII"
+
+    def test_single(self):
+        p = PauliString.single(3, 1, "y")
+        assert p.label() == "IYI"
+        assert p.support() == (1,)
+
+    def test_invalid_character(self):
+        with pytest.raises(ChannelError):
+            PauliString.from_label("XQ")
+
+    def test_weight_and_support(self):
+        p = PauliString.from_label("XIYZ")
+        assert p.weight() == 3
+        assert p.support() == (0, 2, 3)
+
+
+class TestDenseAgreement:
+    @given(labels_2q)
+    @settings(max_examples=30, deadline=None)
+    def test_to_matrix_matches_label_matrix(self, label):
+        p = PauliString.from_label(label)
+        # to_matrix includes the tracked phase; for a fresh label the net
+        # operator equals the Hermitian label matrix.
+        assert np.allclose(p.to_matrix(), pauli_string_matrix(label))
+
+    @given(labels_2q, labels_2q)
+    @settings(max_examples=40, deadline=None)
+    def test_multiplication_matches_dense(self, la, lb):
+        pa, pb = PauliString.from_label(la), PauliString.from_label(lb)
+        dense = pauli_string_matrix(la) @ pauli_string_matrix(lb)
+        assert np.allclose((pa * pb).to_matrix(), dense)
+
+    @given(labels_3q, labels_3q)
+    @settings(max_examples=40, deadline=None)
+    def test_commutation_matches_dense(self, la, lb):
+        pa, pb = PauliString.from_label(la), PauliString.from_label(lb)
+        a, b = pauli_string_matrix(la), pauli_string_matrix(lb)
+        commutes_dense = np.allclose(a @ b, b @ a)
+        assert pa.commutes_with(pb) == commutes_dense
+
+    @given(labels_2q)
+    @settings(max_examples=30, deadline=None)
+    def test_adjoint_matches_dense(self, label):
+        p = PauliString.from_label(label)
+        assert np.allclose(p.adjoint().to_matrix(), p.to_matrix().conj().T)
+
+    @given(labels_2q)
+    @settings(max_examples=30, deadline=None)
+    def test_self_product_is_identity(self, label):
+        p = PauliString.from_label(label)
+        sq = p * p
+        assert np.allclose(sq.to_matrix(), np.eye(4))
+
+
+class TestAlgebra:
+    def test_xy_equals_iz(self):
+        x, y = PauliString.from_label("X"), PauliString.from_label("Y")
+        product = x * y
+        assert np.allclose(product.to_matrix(), 1j * pauli_string_matrix("Z"))
+
+    def test_anticommutation(self):
+        assert not PauliString.from_label("X").commutes_with(PauliString.from_label("Z"))
+        assert PauliString.from_label("XX").commutes_with(PauliString.from_label("ZZ"))
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ChannelError):
+            PauliString.from_label("X") * PauliString.from_label("XX")
+
+    def test_hash_and_eq(self):
+        a = PauliString.from_label("XZ")
+        b = PauliString.from_label("XZ")
+        assert a == b and hash(a) == hash(b)
+
+    def test_equal_up_to_phase(self):
+        a = PauliString.from_label("Y")
+        b = PauliString(a.x, a.z, phase=(a.phase + 2) % 4)
+        assert a != b
+        assert a.equal_up_to_phase(b)
+
+    def test_phase_factor_hermitian_for_labels(self):
+        for label in ("X", "Y", "Z", "XY", "YY"):
+            f = PauliString.from_label(label).phase_factor()
+            assert abs(f - 1.0) < 1e-12
+
+
+class TestEnumerations:
+    def test_all_pauli_labels_count(self):
+        assert len(all_pauli_labels(2)) == 16
+        assert all_pauli_labels(1) == ("I", "X", "Y", "Z")
+
+    def test_weight_bounded_count(self):
+        # n=3, w<=1: 3 qubits x 3 kinds = 9
+        assert sum(1 for _ in weight_bounded_paulis(3, 1)) == 9
+        # w<=2 adds C(3,2)*9 = 27 -> 36
+        assert sum(1 for _ in weight_bounded_paulis(3, 2)) == 36
+
+    def test_weight_bounded_never_identity(self):
+        assert all(p.weight() >= 1 for p in weight_bounded_paulis(3, 2))

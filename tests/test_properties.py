@@ -1,0 +1,151 @@
+"""Cross-cutting hypothesis property tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.backends.density_matrix import DensityMatrixBackend
+from repro.backends.mps import MPSBackend
+from repro.backends.statevector import StatevectorBackend
+from repro.channels.standard import (
+    amplitude_damping,
+    depolarizing,
+    pauli_channel,
+    phase_damping,
+)
+from repro.circuits import Circuit, library
+from repro.pts.base import NoiseSiteView
+from repro.rng import make_rng
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+angles = st.floats(min_value=-6.3, max_value=6.3, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestStatevectorInvariants:
+    @given(seeds, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_random_circuit_preserves_norm(self, seed, depth):
+        circ = library.random_brickwork(5, depth, rng=make_rng(seed)).freeze()
+        sv = StatevectorBackend(5)
+        sv.run_fixed(circ)
+        assert sv.norm_squared() == pytest.approx(1.0, abs=1e-9)
+
+    @given(angles, angles)
+    @settings(max_examples=20, deadline=None)
+    def test_rotation_composition(self, a, b):
+        sv1 = StatevectorBackend(1)
+        sv1.run_fixed(Circuit(1).rz(a, 0).rz(b, 0).freeze())
+        sv2 = StatevectorBackend(1)
+        sv2.run_fixed(Circuit(1).rz(a + b, 0).freeze())
+        assert abs(np.vdot(sv1.statevector, sv2.statevector)) == pytest.approx(1.0, abs=1e-9)
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_sampling_marginals_match_probabilities(self, seed):
+        circ = library.random_brickwork(4, 2, rng=make_rng(seed)).freeze()
+        sv = StatevectorBackend(4)
+        sv.run_fixed(circ)
+        bits = sv.sample(30_000, range(4), make_rng(seed + 1))
+        probs4 = sv.probabilities().reshape((2,) * 4)
+        for q in range(4):
+            exact_p1 = probs4.sum(axis=tuple(a for a in range(4) if a != q))[1]
+            assert abs(bits[:, q].mean() - exact_p1) < 0.02
+
+
+class TestChannelInvariants:
+    @given(probs, probs)
+    @settings(max_examples=25, deadline=None)
+    def test_channel_composition_preserves_trace(self, p1, p2):
+        assume(p1 <= 1.0 and p2 <= 1.0)
+        dm = DensityMatrixBackend(1)
+        from repro.circuits.gates import H
+
+        dm.apply_gate(H, [0])
+        dm.apply_channel(depolarizing(p1), [0])
+        dm.apply_channel(amplitude_damping(p2), [0])
+        assert np.trace(dm.density_matrix).real == pytest.approx(1.0, abs=1e-9)
+
+    @given(probs, probs)
+    @settings(max_examples=25, deadline=None)
+    def test_density_matrix_stays_psd(self, p1, p2):
+        dm = DensityMatrixBackend(1)
+        from repro.circuits.gates import H
+
+        dm.apply_gate(H, [0])
+        dm.apply_channel(phase_damping(min(p1, 1.0)), [0])
+        dm.apply_channel(depolarizing(min(p2, 1.0)), [0])
+        eigs = np.linalg.eigvalsh(dm.density_matrix)
+        assert eigs.min() > -1e-10
+
+    @given(
+        st.floats(min_value=0, max_value=0.33),
+        st.floats(min_value=0, max_value=0.33),
+        st.floats(min_value=0, max_value=0.33),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_pauli_channel_nominal_probs(self, px, py, pz):
+        ch = pauli_channel(px, py, pz)
+        assert sum(ch.nominal_probs) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMPSInvariants:
+    @given(seeds, st.integers(min_value=2, max_value=16))
+    @settings(max_examples=10, deadline=None)
+    def test_fidelity_monotone_in_bond(self, seed, chi):
+        circ = library.random_brickwork(6, 4, rng=make_rng(seed)).freeze()
+        sv = StatevectorBackend(6)
+        sv.run_fixed(circ)
+
+        def fidelity(bond):
+            mps = MPSBackend(6, max_bond=bond)
+            mps.run_fixed(circ)
+            psi = mps.to_statevector()
+            psi = psi / np.linalg.norm(psi)
+            return abs(np.vdot(sv.statevector, psi)) ** 2
+
+        assert fidelity(2 * chi) >= fidelity(chi) - 0.02
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_cached_sampler_distribution_valid(self, seed):
+        circ = library.random_brickwork(5, 3, rng=make_rng(seed)).freeze()
+        mps = MPSBackend(5, max_bond=64)
+        mps.run_fixed(circ)
+        bits = mps.sample(2000, range(5), make_rng(seed + 1))
+        assert bits.shape == (2000, 5)
+        assert set(np.unique(bits)) <= {0, 1}
+
+
+class TestPTSInvariants:
+    @given(st.floats(min_value=0.001, max_value=0.3))
+    @settings(max_examples=15, deadline=None)
+    def test_joint_probabilities_sum_to_one_over_full_enumeration(self, p):
+        """The full distribution of Kraus subsets has unit probability
+        (paper Fig. 2 caption) — check by exhaustive enumeration."""
+        from repro import NoiseModel
+        from repro.pts import ExhaustivePTS
+
+        circ = Circuit(2).h(0).cx(0, 1).measure_all()
+        noisy = (
+            NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(p)).apply(circ).freeze()
+        )
+        result = ExhaustivePTS(cutoff=1e-12, nshots=1).sample(noisy, make_rng(0))
+        assert result.coverage() == pytest.approx(1.0, abs=1e-9)
+
+    @given(seeds, st.integers(min_value=10, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_probabilistic_pts_deterministic_per_seed(self, seed, nsamples):
+        from repro import NoiseModel
+        from repro.pts import ProbabilisticPTS
+
+        circ = Circuit(2).cx(0, 1).measure_all()
+        noisy = (
+            NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(0.1)).apply(circ).freeze()
+        )
+        a = ProbabilisticPTS(nsamples, 1).sample(noisy, make_rng(seed))
+        b = ProbabilisticPTS(nsamples, 1).sample(noisy, make_rng(seed))
+        assert [s.record.signature() for s in a.specs] == [
+            s.record.signature() for s in b.specs
+        ]

@@ -1,0 +1,107 @@
+"""Public API surface, config, and error-hierarchy contracts."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import Config, DEFAULT_CONFIG, configure
+from repro.errors import (
+    BackendError,
+    CapacityError,
+    ChannelError,
+    CircuitError,
+    DataError,
+    DeviceError,
+    ExecutionError,
+    GateError,
+    NoiseModelError,
+    QECError,
+    ReproError,
+    SamplingError,
+    ZeroProbabilityTrajectory,
+)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_pts_exports(self):
+        from repro.pts import __all__ as pts_all
+        import repro.pts as pts
+
+        for name in pts_all:
+            assert hasattr(pts, name)
+
+    def test_analysis_exports(self):
+        from repro.analysis import __all__ as a_all
+        import repro.analysis as analysis
+
+        for name in a_all:
+            assert hasattr(analysis, name)
+
+    def test_qec_exports(self):
+        from repro.qec import __all__ as q_all
+        import repro.qec as qec
+
+        for name in q_all:
+            assert hasattr(qec, name)
+
+    def test_docstrings_on_public_modules(self):
+        import repro.backends.mps
+        import repro.execution.batched
+        import repro.pts.probabilistic
+
+        for mod in (repro, repro.pts.probabilistic, repro.execution.batched, repro.backends.mps):
+            assert mod.__doc__ and len(mod.__doc__) > 40
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            CircuitError, GateError, ChannelError, NoiseModelError, BackendError,
+            CapacityError, SamplingError, ExecutionError, DeviceError, QECError,
+            DataError, ZeroProbabilityTrajectory,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_gate_error_is_circuit_error(self):
+        assert issubclass(GateError, CircuitError)
+
+    def test_capacity_is_backend_error(self):
+        assert issubclass(CapacityError, BackendError)
+        assert issubclass(ZeroProbabilityTrajectory, BackendError)
+
+
+class TestConfig:
+    def test_default_dtype(self):
+        assert DEFAULT_CONFIG.dtype == np.dtype(np.complex128)
+
+    def test_real_dtype_pairing(self):
+        assert Config(dtype=np.dtype(np.complex64)).real_dtype() == np.dtype(np.float32)
+        assert Config().real_dtype() == np.dtype(np.float64)
+
+    def test_replace_returns_copy(self):
+        cfg = Config()
+        other = cfg.replace(max_dense_qubits=10)
+        assert other.max_dense_qubits == 10
+        assert cfg.max_dense_qubits != 10 or cfg is not other
+
+    def test_configure_rejects_unknown_field(self):
+        with pytest.raises(AttributeError):
+            configure(nonsense=3)
+
+    def test_configure_roundtrip(self):
+        original = DEFAULT_CONFIG.max_dense_qubits
+        try:
+            configure(max_dense_qubits=20)
+            assert DEFAULT_CONFIG.max_dense_qubits == 20
+        finally:
+            configure(max_dense_qubits=original)
