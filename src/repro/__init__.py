@@ -55,6 +55,7 @@ from repro.channels import (
     two_qubit_depolarizing,
 )
 from repro.backends import (
+    BatchedStatevectorBackend,
     DensityMatrixBackend,
     MPSBackend,
     StabilizerBackend,
@@ -76,6 +77,7 @@ from repro.execution import (
     ParallelExecutor,
     PTSBEResult,
     ShotTable,
+    VectorizedExecutor,
     run_ptsbe,
 )
 
@@ -116,6 +118,7 @@ __all__ = [
     "phase_damping",
     # backends
     "StatevectorBackend",
+    "BatchedStatevectorBackend",
     "DensityMatrixBackend",
     "MPSBackend",
     "StabilizerBackend",
@@ -133,6 +136,7 @@ __all__ = [
     "BackendSpec",
     "BatchedExecutor",
     "ParallelExecutor",
+    "VectorizedExecutor",
     "PTSBEResult",
     "ShotTable",
     "run_ptsbe",

@@ -1,9 +1,12 @@
 """Simulation backends.
 
-Five backends, mirroring the paper's ecosystem:
+Six backends, mirroring the paper's ecosystem:
 
 * :class:`~repro.backends.statevector.StatevectorBackend` — dense 2**n
   simulator (the CUDA-Q ``nvidia`` backend stand-in);
+* :class:`~repro.backends.batched_statevector.BatchedStatevectorBackend`
+  — trajectory-stacked ``(B, 2**n)`` dense simulator powering the
+  vectorized execution path;
 * :class:`~repro.backends.mps.MPSBackend` — truncated matrix-product-state
   simulator (the ``tensornet`` stand-in) with naive vs. cached batched
   sampling;
@@ -17,6 +20,7 @@ Five backends, mirroring the paper's ecosystem:
 
 from repro.backends.base import PureStateBackend
 from repro.backends.statevector import StatevectorBackend
+from repro.backends.batched_statevector import BatchedStatevectorBackend
 from repro.backends.density_matrix import DensityMatrixBackend
 from repro.backends.mps import MPSBackend
 from repro.backends.stabilizer import StabilizerBackend
@@ -24,6 +28,7 @@ from repro.backends.stabilizer import StabilizerBackend
 __all__ = [
     "PureStateBackend",
     "StatevectorBackend",
+    "BatchedStatevectorBackend",
     "DensityMatrixBackend",
     "MPSBackend",
     "StabilizerBackend",

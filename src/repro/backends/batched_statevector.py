@@ -1,0 +1,391 @@
+"""Trajectory-stacked dense statevector backend (the vectorized BE engine).
+
+Where :class:`~repro.backends.statevector.StatevectorBackend` evolves one
+``2**n`` statevector at a time, this backend holds a ``(B, 2**n)`` *stack*
+of trajectory states and applies every circuit moment to all ``B``
+trajectories in one fused operation:
+
+* **Shared gates** are one fused kernel call: the stack is exposed as a
+  reshape view with the target axes split out and a single ``einsum``
+  pass (:func:`~repro.linalg.apply.apply_matrix_stack`) updates every
+  trajectory at once.  The per-gate Python/dispatch overhead and buffer
+  traffic of the serial engine — its dominant cost at moderate widths —
+  is paid once per moment instead of once per (moment, trajectory).
+* **Divergent Kraus choices** are handled by *grouping*: at each noise
+  site the stack rows are partitioned by their prescribed Kraus index
+  (sites absent from a trajectory's choices use the channel's dominant
+  operator, exactly like :meth:`PureStateBackend.run_fixed`), and each
+  distinct Kraus operator is applied via the same batched kernel over its
+  row sub-slice.  Since PTS trajectories overwhelmingly take the dominant
+  branch, there are typically only one or two groups per site.
+* **Per-row renormalization** after each noise site deliberately mirrors
+  the serial backend operation-for-operation (``vdot`` then scale), so a
+  stacked trajectory is *bitwise identical* to the same trajectory run on
+  :class:`StatevectorBackend` — the property the seed-fixed equivalence
+  tests in ``tests/test_vectorized.py`` assert.
+
+Rows whose prescribed Kraus branch annihilates the actual state (possible
+for general, non-unitary-mixture channels whose nominal probabilities are
+only priors) are marked *dead*: their weight drops to zero, the row is
+zeroed, and no shots are drawn — matching the serial engine's
+:class:`~repro.errors.ZeroProbabilityTrajectory` handling.
+
+Sampling stays the cheap polynomial part of the PTSBE story: each row
+keeps its own cached probability/cumulative vector and draws its full shot
+budget with one ``searchsorted`` over all shot uniforms at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.base import validate_deferred_measurement
+from repro.backends.statevector import bits_from_indices
+from repro.linalg.apply import apply_matrix_stack
+from repro.circuits.circuit import Circuit
+from repro.circuits.operations import GateOp, NoiseOp
+from repro.config import Config, DEFAULT_CONFIG
+from repro.errors import BackendError, CapacityError, ExecutionError
+
+__all__ = ["BatchedStatevectorBackend"]
+
+#: Squared-norm threshold below which a trajectory row is considered
+#: annihilated (same threshold as PureStateBackend.apply_channel_choice).
+_DEAD_NORM = 1e-300
+
+
+class BatchedStatevectorBackend:
+    """Dense simulator evolving a ``(batch, 2**n)`` stack of pure states.
+
+    This is *not* a :class:`~repro.backends.base.PureStateBackend`: it
+    deliberately trades the one-state interface for stack-wide primitives.
+    Use it through :class:`~repro.execution.vectorized.VectorizedExecutor`
+    (or ``run_ptsbe(..., strategy="vectorized")``) rather than through
+    :class:`~repro.execution.batched.BatchedExecutor`.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of every state in the stack.
+    batch_size:
+        Initial number of stacked trajectories; :meth:`reset` and
+        :meth:`run_fixed_stack` may resize the stack.
+    config:
+        Optional :class:`~repro.config.Config`; the stack must fit the
+        dense amplitude budget ``2**max_dense_qubits`` *in total*, i.e.
+        ``batch_size * 2**num_qubits`` amplitudes.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        batch_size: int = 1,
+        config: Optional[Config] = None,
+    ):
+        config = config or DEFAULT_CONFIG
+        if num_qubits <= 0:
+            raise BackendError(f"num_qubits must be positive, got {num_qubits}")
+        if num_qubits > config.max_dense_qubits:
+            raise CapacityError(
+                f"{num_qubits} qubits exceeds the dense cap of {config.max_dense_qubits} "
+                f"(a 2**{num_qubits} statevector per stacked trajectory)"
+            )
+        self.num_qubits = int(num_qubits)
+        self._config = config
+        self._dim = 2**self.num_qubits
+        self._stack: np.ndarray = np.empty((0, self._dim), dtype=config.dtype)
+        self._alive: np.ndarray = np.empty(0, dtype=bool)
+        self._probs_cache: Dict[int, np.ndarray] = {}
+        self._cumsum_cache: Dict[int, np.ndarray] = {}
+        self.preparations = 0  # total stacked trajectories prepared (dedup audit)
+        self.reset(batch_size)
+
+    # ------------------------------------------------------------------ #
+    # stack management
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_size(self) -> int:
+        return int(self._stack.shape[0])
+
+    @property
+    def max_batch_rows(self) -> int:
+        """Largest stack that fits the dense amplitude budget."""
+        return max(1, 2 ** max(0, self._config.max_dense_qubits - self.num_qubits))
+
+    @property
+    def alive(self) -> np.ndarray:
+        """Boolean mask of rows that still hold a valid (non-dead) state."""
+        return self._alive
+
+    def reset(self, batch_size: Optional[int] = None) -> None:
+        """Reset every row to |0...0>, optionally resizing the stack."""
+        b = self.batch_size if batch_size is None else int(batch_size)
+        if b <= 0:
+            raise BackendError(f"batch_size must be positive, got {b}")
+        if b > self.max_batch_rows:
+            raise CapacityError(
+                f"stack of {b} x 2**{self.num_qubits} amplitudes exceeds the dense "
+                f"budget of 2**{self._config.max_dense_qubits} (max {self.max_batch_rows} rows)"
+            )
+        self._stack = np.zeros((b, self._dim), dtype=self._config.dtype)
+        self._stack[:, 0] = 1.0
+        self._alive = np.ones(b, dtype=bool)
+        self._invalidate()
+
+    def statevector(self, row: int) -> np.ndarray:
+        """Row ``row``'s amplitude array (a direct view — do not mutate)."""
+        return self._stack[row]
+
+    def _invalidate(self) -> None:
+        self._probs_cache.clear()
+        self._cumsum_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # batched state evolution
+    # ------------------------------------------------------------------ #
+    def apply_matrix(
+        self,
+        matrix: np.ndarray,
+        targets: Sequence[int],
+        rows: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Apply one ``(2**k, 2**k)`` matrix to ``targets`` of many rows.
+
+        ``rows=None`` hits the whole stack with one fused kernel call
+        (the shared-gate fast path); an explicit row list transforms only
+        that sub-slice (the divergent-Kraus path).  No renormalization.
+        """
+        targets = list(targets)
+        k = len(targets)
+        dim_k = 2**k
+        matrix = np.asarray(matrix)
+        if matrix.shape != (dim_k, dim_k):
+            raise BackendError(
+                f"matrix shape {matrix.shape} incompatible with targets {targets}"
+            )
+        if any(t < 0 or t >= self.num_qubits for t in targets):
+            raise BackendError(f"targets {targets} out of range")
+        if len(set(targets)) != k:
+            raise BackendError(f"duplicate targets {targets}")
+
+        if rows is not None:
+            # Deduplicate so the gather/scatter (and the whole-stack
+            # shortcut below) see well-defined fancy-index semantics.
+            rows = np.unique(np.asarray(rows, dtype=np.intp))
+            if rows.size and (rows[0] < 0 or rows[-1] >= self.batch_size):
+                raise BackendError(
+                    f"rows {rows.tolist()} out of range for a "
+                    f"{self.batch_size}-row stack"
+                )
+            if rows.size == self.batch_size:
+                rows = None  # the "sub-slice" is the whole stack
+        if rows is None:
+            self._stack = apply_matrix_stack(
+                self._stack, matrix, targets, self.num_qubits, self._config.dtype
+            )
+        else:
+            if rows.size == 0:
+                return
+            self._stack[rows] = apply_matrix_stack(
+                np.ascontiguousarray(self._stack[rows]),
+                matrix,
+                targets,
+                self.num_qubits,
+                self._config.dtype,
+            )
+        self._invalidate()
+
+    def norms_squared(self) -> np.ndarray:
+        """Per-row <psi|psi> of the current stack."""
+        return np.array(
+            [float(np.real(np.vdot(row, row))) for row in self._stack]
+        )
+
+    # ------------------------------------------------------------------ #
+    # stacked trajectory preparation (the vectorized BE primitive)
+    # ------------------------------------------------------------------ #
+    def run_fixed_stack(
+        self,
+        circuit: Circuit,
+        choices_list: Sequence[Optional[Dict[int, int]]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Prepare one trajectory state per entry of ``choices_list``.
+
+        Each entry maps ``site_id -> kraus_index`` exactly as in
+        :meth:`PureStateBackend.run_fixed`; sites absent from a map use
+        the channel's dominant operator.  Returns ``(weights, alive)``:
+        the per-row product of actual branch probabilities, and a mask of
+        rows whose prescribed branches were all realizable.  Dead rows
+        have weight 0 and a zeroed state.
+        """
+        if not circuit.frozen:
+            raise ExecutionError("run_fixed_stack requires a frozen circuit")
+        if circuit.num_qubits != self.num_qubits:
+            raise BackendError(
+                f"circuit has {circuit.num_qubits} qubits, backend has {self.num_qubits}"
+            )
+        validate_deferred_measurement(circuit)
+        if len(choices_list) == 0:
+            raise ExecutionError("empty trajectory stack")
+        self.reset(len(choices_list))
+        weights = np.ones(len(choices_list), dtype=np.float64)
+        self.preparations += len(choices_list)
+        for op in circuit:
+            if isinstance(op, GateOp):
+                self.apply_matrix(op.gate.matrix, op.qubits)
+            elif isinstance(op, NoiseOp):
+                self._apply_noise_site(op, choices_list, weights)
+            # MeasureOps are deferred; sampling happens afterwards.
+        return weights, self._alive.copy()
+
+    def _apply_noise_site(
+        self,
+        op: NoiseOp,
+        choices_list: Sequence[Optional[Dict[int, int]]],
+        weights: np.ndarray,
+    ) -> None:
+        """Group rows by Kraus index, apply each group, renormalize rows."""
+        channel = op.channel
+        dominant = channel.dominant_index()
+        groups: Dict[int, List[int]] = {}
+        for row, choices in enumerate(choices_list):
+            if not self._alive[row]:
+                continue
+            idx = dominant if not choices else choices.get(op.site_id, dominant)
+            if not (0 <= idx < len(channel)):
+                raise BackendError(
+                    f"kraus_index {idx} out of range for {channel.name!r} "
+                    f"({len(channel)} operators)"
+                )
+            groups.setdefault(idx, []).append(row)
+        if len(groups) == 1:
+            # Unanimous branch choice: hit the whole stack in place (dead
+            # rows are zero and stay zero under any operator).
+            (idx,) = groups
+            self.apply_matrix(channel.kraus_ops[idx], op.qubits)
+        elif groups:
+            # Apply the majority branch to the whole stack in place, then
+            # overwrite the (few) deviating rows from a pre-noise snapshot
+            # — this avoids gathering/scattering the large majority slice.
+            majority = max(groups, key=lambda idx: len(groups[idx]))
+            minority_rows = {
+                idx: np.asarray(rows, dtype=np.intp)
+                for idx, rows in groups.items()
+                if idx != majority
+            }
+            snapshots = {
+                idx: np.ascontiguousarray(self._stack[rows])
+                for idx, rows in minority_rows.items()
+            }
+            self.apply_matrix(channel.kraus_ops[majority], op.qubits)
+            for idx, rows in minority_rows.items():
+                self._stack[rows] = apply_matrix_stack(
+                    snapshots[idx],
+                    np.asarray(channel.kraus_ops[idx]),
+                    list(op.qubits),
+                    self.num_qubits,
+                    self._config.dtype,
+                )
+        for rows in groups.values():
+            for row in rows:
+                state = self._stack[row]
+                n2 = float(np.real(np.vdot(state, state)))
+                if n2 <= _DEAD_NORM:
+                    # This branch annihilates the actual state (nominal
+                    # probabilities are only priors for general channels).
+                    self._alive[row] = False
+                    weights[row] = 0.0
+                    state.fill(0)
+                    continue
+                weights[row] *= n2
+                state /= np.sqrt(n2)
+        self._invalidate()
+
+    # ------------------------------------------------------------------ #
+    # stacked probabilities and bulk sampling
+    # ------------------------------------------------------------------ #
+    def probabilities(self, row: int) -> np.ndarray:
+        """|amplitude|**2 of one row (cached until the stack mutates)."""
+        cached = self._probs_cache.get(row)
+        if cached is None:
+            probs = np.abs(self._stack[row]) ** 2
+            total = probs.sum()
+            if total <= 0:
+                raise BackendError(f"stack row {row} has zero norm (dead trajectory)")
+            cached = (probs / total).astype(np.float64, copy=False)
+            self._probs_cache[row] = cached
+        return cached
+
+    def probability_stack(self) -> np.ndarray:
+        """The full ``(batch, 2**n)`` probability tensor (dead rows zero)."""
+        out = np.zeros((self.batch_size, self._dim), dtype=np.float64)
+        for row in range(self.batch_size):
+            if self._alive[row]:
+                out[row] = self.probabilities(row)
+        return out
+
+    def _cumulative(self, row: int) -> np.ndarray:
+        cached = self._cumsum_cache.get(row)
+        if cached is None:
+            cached = np.cumsum(self.probabilities(row))
+            # Clamp the tail so searchsorted never falls off the end.
+            cached[-1] = 1.0
+            self._cumsum_cache[row] = cached
+        return cached
+
+    def sample_indices(
+        self, row: int, num_shots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Bulk-sample basis-state indices from one stacked trajectory."""
+        if num_shots < 0:
+            raise BackendError("num_shots must be >= 0")
+        if num_shots == 0:
+            return np.empty(0, dtype=np.int64)
+        cum = self._cumulative(row)
+        r = rng.random(num_shots)
+        return np.searchsorted(cum, r, side="right").astype(np.int64)
+
+    def sample(
+        self,
+        row: int,
+        num_shots: int,
+        qubits: Sequence[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw ``num_shots`` shots of ``qubits`` from stack row ``row``."""
+        indices = self.sample_indices(row, num_shots, rng)
+        return bits_from_indices(indices, qubits, self.num_qubits)
+
+    def sample_stack(
+        self,
+        shots_per_row: Sequence[int],
+        qubits: Sequence[int],
+        rngs: Sequence[np.random.Generator],
+    ) -> List[np.ndarray]:
+        """Bulk multinomial sampling over the whole stack, one rng per row.
+
+        Dead rows yield an empty ``(0, len(qubits))`` table.  Each live row
+        draws its full budget in one vectorized ``searchsorted`` — the
+        "sampling all m_alpha desired quantum bitstrings at once" step of
+        the paper, here over the stacked probability tensor.
+        """
+        if len(shots_per_row) != self.batch_size or len(rngs) != self.batch_size:
+            raise BackendError(
+                f"expected {self.batch_size} shot counts and rngs, got "
+                f"{len(shots_per_row)} and {len(rngs)}"
+            )
+        out: List[np.ndarray] = []
+        for row, (shots, rng) in enumerate(zip(shots_per_row, rngs)):
+            if not self._alive[row]:
+                out.append(np.empty((0, len(qubits)), dtype=np.uint8))
+            else:
+                out.append(self.sample(row, shots, qubits, rng))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedStatevectorBackend(qubits={self.num_qubits}, "
+            f"batch={self.batch_size}, dtype={self._config.dtype})"
+        )

@@ -3,10 +3,11 @@
 Implementation notes (following the HPC guides):
 
 * Gate application never materializes a ``2**n x 2**n`` operator.  The
-  state lives as a flat ``2**n`` array; ``apply_matrix`` reshapes it to a
-  ``(2**k, rest)`` view by moving the target axes to the front, performs a
-  single BLAS ``matmul``, and moves the axes back.  This is the standard
-  cache-friendly kernel (contiguous GEMM over the non-target axes).
+  state lives as a flat ``2**n`` array; ``apply_matrix`` delegates to the
+  shared :func:`~repro.linalg.apply.apply_matrix_stack` kernel, which
+  exposes the target axes with pure reshape views and updates them in one
+  ``einsum`` pass — the same kernel the trajectory-stacked backend runs,
+  which keeps serial and vectorized execution bitwise identical.
 * Bulk sampling is fully vectorized: one cumulative sum of the probability
   vector, then ``searchsorted`` over all shot uniforms at once.  Its cost is
   ``O(2**n + m log 2**n)`` — *polynomial in the state, trivial per shot* —
@@ -27,6 +28,7 @@ import numpy as np
 from repro.backends.base import PureStateBackend
 from repro.config import Config, DEFAULT_CONFIG
 from repro.errors import BackendError, CapacityError
+from repro.linalg.apply import apply_matrix_stack
 
 __all__ = ["StatevectorBackend", "bits_from_indices"]
 
@@ -121,15 +123,10 @@ class StatevectorBackend(PureStateBackend):
         if len(set(targets)) != k:
             raise BackendError(f"duplicate targets {targets}")
 
-        psi = self._state.reshape((2,) * self.num_qubits)
-        psi = np.moveaxis(psi, targets, range(k))
-        shape_after = psi.shape
-        psi = psi.reshape(dim_k, -1)
-        psi = np.ascontiguousarray(psi)
-        out = matrix.astype(self._config.dtype, copy=False) @ psi
-        out = out.reshape(shape_after)
-        out = np.moveaxis(out, range(k), targets)
-        self._state = np.ascontiguousarray(out).reshape(-1)
+        out = apply_matrix_stack(
+            self._state.reshape(1, -1), matrix, targets, self.num_qubits, self._config.dtype
+        )
+        self._state = out.reshape(-1)
         self._invalidate()
 
     def norm_squared(self) -> float:

@@ -3,16 +3,23 @@
 The engine prepares each prescribed noisy state exactly once and draws its
 full shot batch in bulk (:mod:`repro.execution.batched`), schedules
 trajectories across emulated devices (:mod:`repro.execution.scheduler`),
-and optionally fans them out over worker processes — the paper's
+optionally fans them out over worker processes — the paper's
 "embarrassingly parallel" inter-trajectory axis
-(:mod:`repro.execution.parallel`).  Results carry per-shot provenance
-(:mod:`repro.execution.results`).
+(:mod:`repro.execution.parallel`) — or stacks them into a single
+``(B, 2**n)`` tensor evolved in lockstep
+(:mod:`repro.execution.vectorized`).  Results carry per-shot provenance
+(:mod:`repro.execution.results`).  Every strategy draws identical
+per-trajectory shots for a fixed seed; for specs in ascending
+trajectory-id order (what every PTS algorithm emits) the shot tables
+match row for row as well.  See ``docs/architecture.md`` for when to
+pick which.
 """
 
 from repro.execution.results import ShotTable, TrajectoryResult, PTSBEResult
 from repro.execution.batched import BackendSpec, BatchedExecutor, run_ptsbe
 from repro.execution.scheduler import Scheduler, round_robin, greedy_by_cost
 from repro.execution.parallel import ParallelExecutor
+from repro.execution.vectorized import VectorizedExecutor
 
 __all__ = [
     "ShotTable",
@@ -25,4 +32,5 @@ __all__ = [
     "round_robin",
     "greedy_by_cost",
     "ParallelExecutor",
+    "VectorizedExecutor",
 ]

@@ -10,9 +10,11 @@ For every :class:`~repro.pts.base.TrajectorySpec` the engine:
 3. attaches the provenance record to the shots.
 
 Contrast with :class:`~repro.trajectory.baseline.TrajectorySimulator`,
-which re-runs step 1 for every single shot.  The executor records prep and
-sample wall-times separately so the benchmarks can report the paper's
-shots-per-second curves directly.
+which re-runs step 1 for every single shot, and with
+:class:`~repro.execution.vectorized.VectorizedExecutor`, which prepares
+whole *stacks* of trajectories per pass instead of looping specs in
+Python.  The executor records prep and sample wall-times separately so
+the benchmarks can report the paper's shots-per-second curves directly.
 """
 
 from __future__ import annotations
@@ -39,8 +41,10 @@ __all__ = ["BackendSpec", "BatchedExecutor", "run_ptsbe"]
 class BackendSpec:
     """Picklable recipe for constructing a backend in any process.
 
-    ``kind`` is ``"statevector"`` or ``"mps"``; ``options`` are forwarded
-    to the constructor (e.g. ``{"max_bond": 32}``).
+    ``kind`` is ``"statevector"``, ``"mps"``, or ``"batched_statevector"``
+    (the trajectory-stacked backend used by
+    :class:`~repro.execution.vectorized.VectorizedExecutor`); ``options``
+    are forwarded to the constructor (e.g. ``{"max_bond": 32}``).
     """
 
     kind: str = "statevector"
@@ -54,12 +58,20 @@ class BackendSpec:
     def mps(cls, **options) -> "BackendSpec":
         return cls("mps", tuple(sorted(options.items())))
 
-    def create(self, num_qubits: int) -> PureStateBackend:
+    @classmethod
+    def batched_statevector(cls, **options) -> "BackendSpec":
+        return cls("batched_statevector", tuple(sorted(options.items())))
+
+    def create(self, num_qubits: int):
         opts = dict(self.options)
         if self.kind == "statevector":
             return StatevectorBackend(num_qubits, **opts)
         if self.kind == "mps":
             return MPSBackend(num_qubits, **opts)
+        if self.kind == "batched_statevector":
+            from repro.backends.batched_statevector import BatchedStatevectorBackend
+
+            return BatchedStatevectorBackend(num_qubits, **opts)
         raise ExecutionError(f"unknown backend kind {self.kind!r}")
 
 
@@ -75,9 +87,18 @@ class BatchedExecutor:
         self.sample_kwargs = dict(sample_kwargs or {})
 
     def _make_backend(self, num_qubits: int) -> PureStateBackend:
-        if isinstance(self.backend, BackendSpec):
-            return self.backend.create(num_qubits)
-        return self.backend(num_qubits)
+        backend = (
+            self.backend.create(num_qubits)
+            if isinstance(self.backend, BackendSpec)
+            else self.backend(num_qubits)
+        )
+        if not hasattr(backend, "run_fixed"):
+            raise ExecutionError(
+                f"{type(backend).__name__} is not a per-trajectory backend; use "
+                "VectorizedExecutor (or run_ptsbe(strategy='vectorized')) for "
+                "the 'batched_statevector' kind"
+            )
+        return backend
 
     def execute(
         self,
@@ -140,24 +161,85 @@ class BatchedExecutor:
         )
 
 
+def _make_executor(
+    backend,
+    strategy: str,
+    sample_kwargs: Optional[Dict],
+    executor_kwargs: Optional[Dict],
+):
+    """Resolve a strategy name to a constructed executor."""
+    kwargs = dict(executor_kwargs or {})
+    if strategy == "auto":
+        kind = backend.kind if isinstance(backend, BackendSpec) else None
+        strategy = "vectorized" if kind == "batched_statevector" else "serial"
+    if strategy == "serial":
+        return BatchedExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
+    if strategy == "parallel":
+        from repro.execution.parallel import ParallelExecutor
+
+        return ParallelExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
+    if strategy == "vectorized":
+        from repro.execution.vectorized import VectorizedExecutor
+
+        return VectorizedExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
+    raise ExecutionError(
+        f"unknown strategy {strategy!r}; expected 'auto', 'serial', 'parallel' "
+        "or 'vectorized'"
+    )
+
+
 def run_ptsbe(
     circuit: Circuit,
     sampler: PTSAlgorithm,
     backend: Union[BackendSpec, Callable[[int], PureStateBackend]] = BackendSpec(),
     seed: Optional[int] = None,
     sample_kwargs: Optional[Dict] = None,
+    strategy: str = "auto",
+    executor_kwargs: Optional[Dict] = None,
 ) -> PTSBEResult:
     """The full PTSBE pipeline in one call (paper Fig. 1).
 
     1. PTS: ``sampler`` pre-samples trajectory specs from the circuit;
-    2. BE: the executor realizes each spec with batched sampling.
+    2. BE: the chosen executor realizes each spec with batched sampling.
 
     Handles circuit-rewriting samplers (e.g. Pauli twirling) by executing
     against the sampler's rewritten circuit when it exposes one.
+
+    Parameters
+    ----------
+    strategy:
+        Which batched-execution engine realizes the specs:
+
+        * ``"auto"`` (default) — ``"vectorized"`` when ``backend`` is of
+          kind ``"batched_statevector"``, else ``"serial"``;
+        * ``"serial"`` — one :class:`BatchedExecutor` preparation per spec;
+        * ``"parallel"`` — fan specs over a process pool
+          (:class:`~repro.execution.parallel.ParallelExecutor`);
+        * ``"vectorized"`` — deduplicated ``(B, 2**n)`` trajectory stacks
+          (:class:`~repro.execution.vectorized.VectorizedExecutor`).
+
+        Every strategy draws identical per-trajectory shots for a fixed
+        ``seed``; shot tables also match row for row for specs in
+        ascending trajectory-id order (what every PTS algorithm emits —
+        ``"parallel"`` orders results by trajectory id, the others by
+        spec position).
+    executor_kwargs:
+        Extra constructor arguments for the chosen executor, e.g.
+        ``{"num_workers": 4}`` for ``"parallel"`` or ``{"max_batch": 32}``
+        for ``"vectorized"``.
+
+    Examples
+    --------
+    >>> run_ptsbe(noisy, ProbabilisticPTS(nsamples=200, nshots=10_000),
+    ...           seed=7)                                  # doctest: +SKIP
+    >>> run_ptsbe(noisy, sampler, strategy="vectorized",
+    ...           executor_kwargs={"max_batch": 32}, seed=7)  # doctest: +SKIP
+    >>> run_ptsbe(noisy, sampler, BackendSpec.batched_statevector(),
+    ...           seed=7)  # auto -> vectorized             # doctest: +SKIP
     """
     circuit.freeze()
     rng = StreamFactory(seed).rng_for(0)
     pts_result = sampler.sample(circuit, rng)
     target = getattr(sampler, "twirled_circuit", None) or circuit
-    executor = BatchedExecutor(backend, sample_kwargs=sample_kwargs)
+    executor = _make_executor(backend, strategy, sample_kwargs, executor_kwargs)
     return executor.execute(target, pts_result.specs, seed=seed)

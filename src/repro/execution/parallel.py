@@ -54,6 +54,11 @@ class ParallelExecutor:
             raise ExecutionError(
                 "ParallelExecutor requires a picklable BackendSpec, not a callable"
             )
+        if backend.kind == "batched_statevector":
+            raise ExecutionError(
+                "ParallelExecutor workers run the serial per-trajectory engine; "
+                "use VectorizedExecutor for the 'batched_statevector' kind"
+            )
         self.backend = backend
         self.num_workers = int(num_workers)
         self.scheduler = scheduler or Scheduler("greedy")

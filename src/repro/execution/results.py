@@ -131,6 +131,10 @@ class PTSBEResult:
     measured_qubits: Tuple[int, ...]
     prep_seconds: float = 0.0
     sample_seconds: float = 0.0
+    #: Number of distinct state preparations actually performed.  Set by
+    #: the vectorized executor (which deduplicates identical specs); None
+    #: for executors that prepare one state per spec unconditionally.
+    unique_preparations: Optional[int] = None
 
     @property
     def num_trajectories(self) -> int:

@@ -1,0 +1,162 @@
+"""Vectorized trajectory-stacked execution.
+
+The third execution strategy, alongside the serial
+:class:`~repro.execution.batched.BatchedExecutor` and the process-pool
+:class:`~repro.execution.parallel.ParallelExecutor`:
+
+1. **Deduplicate** — specs are grouped by
+   :meth:`~repro.pts.base.TrajectorySpec.dedup_key` so identical Kraus
+   prescriptions are prepared exactly once (their shot budgets are served
+   from the same stacked row);
+2. **Stack** — each chunk of unique trajectories becomes one
+   ``(B, 2**n)`` stack on a
+   :class:`~repro.backends.batched_statevector.BatchedStatevectorBackend`,
+   prepared with one fused pass over the circuit (shared gates hit all
+   rows in a single broadcast GEMM, divergent Kraus operators hit row
+   sub-slices);
+3. **Bulk-sample** — every spec draws its full shot budget from its row's
+   cached cumulative-probability vector with the stream derived from
+   ``(seed, trajectory_id)``.
+
+Because the per-row arithmetic deliberately mirrors the serial backend
+operation-for-operation, and sampling uses the exact same per-trajectory
+Philox streams, a vectorized run is *shot-for-shot identical* to a serial
+``BatchedExecutor`` run with the same seed — the same determinism
+contract :mod:`repro.execution.parallel` upholds, verified in
+``tests/test_vectorized.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.backends.batched_statevector import BatchedStatevectorBackend
+from repro.circuits.circuit import Circuit
+from repro.errors import ExecutionError
+from repro.execution.batched import BackendSpec
+from repro.execution.results import PTSBEResult, TrajectoryResult
+from repro.pts.base import TrajectorySpec, deduplicate_specs
+from repro.rng import StreamFactory
+
+__all__ = ["VectorizedExecutor"]
+
+
+class VectorizedExecutor:
+    """Execute trajectory specs as stacked tensors on one process.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`BackendSpec` of kind ``"batched_statevector"`` or
+        ``"statevector"`` (the latter is upgraded to the stacked backend
+        with the same options), or a callable ``num_qubits -> backend``
+        returning a :class:`BatchedStatevectorBackend`-compatible object.
+    max_batch:
+        Upper bound on stacked rows per preparation chunk; the effective
+        bound also respects the backend's dense amplitude budget.
+    sample_kwargs:
+        Accepted for signature symmetry with the other executors, but the
+        stacked dense backend takes no sampling options — a non-empty
+        value is rejected up front rather than crashing mid-run.
+    """
+
+    def __init__(
+        self,
+        backend: Union[BackendSpec, Callable[[int], BatchedStatevectorBackend], None] = None,
+        max_batch: int = 64,
+        sample_kwargs: Optional[Dict] = None,
+    ):
+        if backend is None:
+            backend = BackendSpec.batched_statevector()
+        if isinstance(backend, BackendSpec) and backend.kind not in (
+            "statevector",
+            "batched_statevector",
+        ):
+            raise ExecutionError(
+                f"VectorizedExecutor supports dense statevector stacks only, "
+                f"not backend kind {backend.kind!r}"
+            )
+        if max_batch <= 0:
+            raise ExecutionError(f"max_batch must be positive, got {max_batch}")
+        if sample_kwargs:
+            raise ExecutionError(
+                "VectorizedExecutor's stacked statevector backend takes no "
+                f"sample options, got sample_kwargs={dict(sample_kwargs)!r}"
+            )
+        self.backend = backend
+        self.max_batch = int(max_batch)
+
+    def _make_backend(self, num_qubits: int) -> BatchedStatevectorBackend:
+        if isinstance(self.backend, BackendSpec):
+            opts = dict(self.backend.options)
+            return BatchedStatevectorBackend(num_qubits, **opts)
+        backend = self.backend(num_qubits)
+        if not hasattr(backend, "run_fixed_stack"):
+            raise ExecutionError(
+                f"backend factory returned {type(backend).__name__}, which lacks "
+                "run_fixed_stack; VectorizedExecutor needs a stacked backend"
+            )
+        return backend
+
+    def execute(
+        self,
+        circuit: Circuit,
+        specs: Sequence[TrajectorySpec],
+        seed: Optional[int] = None,
+    ) -> PTSBEResult:
+        """Run every spec: deduplicated stacked preparation, bulk sampling."""
+        circuit.freeze()
+        measured = tuple(circuit.measured_qubits)
+        if not measured:
+            raise ExecutionError("circuit has no measurements to sample")
+        if not specs:
+            raise ExecutionError("no trajectory specs to execute")
+        streams = StreamFactory(seed)
+        backend = self._make_backend(circuit.num_qubits)
+        chunk_rows = min(self.max_batch, backend.max_batch_rows)
+        groups = deduplicate_specs(specs)
+        results: List[Optional[TrajectoryResult]] = [None] * len(specs)
+        total_prep = 0.0
+        total_sample = 0.0
+        for start in range(0, len(groups), chunk_rows):
+            chunk = groups[start : start + chunk_rows]
+            choices_list = [specs[g.indices[0]].choices for g in chunk]
+            t0 = time.perf_counter()
+            weights, alive = backend.run_fixed_stack(circuit, choices_list)
+            t1 = time.perf_counter()
+            total_prep += t1 - t0
+            # One stacked preparation served the whole chunk; attribute its
+            # wall-time evenly across the unique rows (duplicates ride free).
+            prep_each = (t1 - t0) / len(chunk)
+            for row, group in enumerate(chunk):
+                for j, spec_index in enumerate(group.indices):
+                    spec = specs[spec_index]
+                    rng = streams.rng_for(spec.record.trajectory_id)
+                    if not alive[row]:
+                        # Same contract as the serial engine on a
+                        # ZeroProbabilityTrajectory: zero weight, no shots.
+                        bits = np.empty((0, len(measured)), dtype=np.uint8)
+                        weight, sample_s = 0.0, 0.0
+                    else:
+                        t2 = time.perf_counter()
+                        bits = backend.sample(row, spec.num_shots, measured, rng)
+                        t3 = time.perf_counter()
+                        weight, sample_s = float(weights[row]), t3 - t2
+                        total_sample += sample_s
+                    results[spec_index] = TrajectoryResult(
+                        record=spec.record,
+                        bits=bits,
+                        actual_weight=weight,
+                        prep_seconds=prep_each if j == 0 else 0.0,
+                        sample_seconds=sample_s,
+                    )
+        return PTSBEResult(
+            trajectories=results,
+            measured_qubits=measured,
+            prep_seconds=total_prep,
+            sample_seconds=total_sample,
+            unique_preparations=len(groups),
+        )

@@ -33,7 +33,9 @@ from repro.pts.base import (
     NoiseSiteView,
     PTSAlgorithm,
     PTSResult,
+    SpecGroup,
     TrajectorySpec,
+    deduplicate_specs,
 )
 from repro.pts.compatibility import compatible, unique_kraus
 from repro.pts.probabilistic import ProbabilisticPTS
@@ -57,6 +59,8 @@ __all__ = [
     "PTSAlgorithm",
     "PTSResult",
     "TrajectorySpec",
+    "SpecGroup",
+    "deduplicate_specs",
     "compatible",
     "unique_kraus",
     "ProbabilisticPTS",

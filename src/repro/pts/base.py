@@ -31,6 +31,8 @@ __all__ = [
     "ErrorCandidate",
     "NoiseSiteView",
     "TrajectorySpec",
+    "SpecGroup",
+    "deduplicate_specs",
     "PTSResult",
     "PTSAlgorithm",
 ]
@@ -160,8 +162,54 @@ class TrajectorySpec:
     def with_shots(self, num_shots: int) -> "TrajectorySpec":
         return TrajectorySpec(record=self.record, num_shots=int(num_shots))
 
+    def dedup_key(self) -> Tuple[Tuple[int, int], ...]:
+        """Hashable identity of the *prepared state* this spec prescribes.
+
+        Two specs with equal keys realize the same Kraus choices on the
+        same circuit and therefore the same noisy state — the vectorized
+        executor prepares such specs once and only merges shot budgets.
+        Delegates to :meth:`TrajectoryRecord.signature` (sorted
+        ``(site_id, kraus_index)`` pairs).
+        """
+        return self.record.signature()
+
     def __repr__(self) -> str:
         return f"TrajectorySpec(errors={self.record.num_errors()}, shots={self.num_shots}, p={self.probability:.3e})"
+
+
+@dataclass(frozen=True)
+class SpecGroup:
+    """Specs sharing one prepared state (identical Kraus choices).
+
+    ``indices`` point into the original spec sequence, in first-occurrence
+    order; ``total_shots`` is the merged shot budget of the group — one
+    state preparation serves all of it.
+    """
+
+    key: Tuple[Tuple[int, int], ...]
+    indices: Tuple[int, ...]
+    total_shots: int
+
+
+def deduplicate_specs(specs: Sequence[TrajectorySpec]) -> List[SpecGroup]:
+    """Group trajectory specs by :meth:`TrajectorySpec.dedup_key`.
+
+    PTS algorithms already reject duplicate error combinations within one
+    run (``uniqueKraus``), but specs merged across runs, algorithms, or
+    hand-built workloads can repeat.  Groups preserve the first-occurrence
+    order of their keys, so batched preparation stays deterministic.
+    """
+    grouped: Dict[Tuple[Tuple[int, int], ...], List[int]] = {}
+    for i, spec in enumerate(specs):
+        grouped.setdefault(spec.dedup_key(), []).append(i)
+    return [
+        SpecGroup(
+            key=key,
+            indices=tuple(indices),
+            total_shots=sum(specs[i].num_shots for i in indices),
+        )
+        for key, indices in grouped.items()
+    ]
 
 
 @dataclass

@@ -74,6 +74,16 @@ class StreamFactory:
         """Stream for a single trajectory index."""
         return trajectory_rng(self.seed, trajectory_index)
 
+    def rngs_for(self, trajectory_indices: Sequence[int]) -> list:
+        """One independent stream per stacked trajectory.
+
+        The vectorized executor's batch counterpart of :meth:`rng_for`:
+        row ``i`` of a trajectory stack samples from the stream of
+        ``trajectory_indices[i]``, so stacked execution stays shot-for-shot
+        identical to serial execution regardless of stacking or chunking.
+        """
+        return [self.rng_for(i) for i in trajectory_indices]
+
     def streams(self, count: int, start: int = 0) -> Iterator[np.random.Generator]:
         """Yield ``count`` consecutive trajectory streams starting at ``start``."""
         for i in range(start, start + count):
