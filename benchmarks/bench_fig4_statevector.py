@@ -74,3 +74,31 @@ def test_fig4_report(benchmark, msd_bare, sv_backend):
     # Reproduction assertion: the shape must hold — large batches are at
     # least 100x more shot-efficient than single-shot trajectories here.
     assert rows[-1][1] / base_rate > 100
+
+
+if __name__ == "__main__":
+    from _harness import make_parser, write_json
+    from conftest import make_msd_bare
+
+    from repro.execution import BackendSpec
+
+    args = make_parser("Fig. 4 (statevector): shots/s vs batch size").parse_args()
+    circuit = make_msd_bare()
+    executor = BatchedExecutor(BackendSpec.statevector())
+    rows = []
+    print(f"{'batch':>9} {'shots/s':>14} {'seconds':>9}")
+    for batch in BATCH_SIZES:
+        t0 = time.perf_counter()
+        executor.execute(circuit, [_spec(batch)], seed=0)
+        dt = time.perf_counter() - t0
+        print(f"{batch:>9d} {batch / dt:>14.3e} {dt:>9.4f}")
+        rows.append(
+            {"batch_shots": batch, "shots_per_second": batch / dt, "seconds": dt}
+        )
+    if args.json:
+        write_json(
+            args.json,
+            "fig4_statevector",
+            rows,
+            workload={"circuit": "msd_bare", "num_qubits": circuit.num_qubits},
+        )

@@ -72,3 +72,27 @@ def test_fig4_unique_report(benchmark, wide_state):
     # decay.
     assert fracs[2] > 0.5
     assert fracs[-1] > 0.2
+
+
+if __name__ == "__main__":
+    from _harness import make_parser, write_json
+
+    args = make_parser(
+        "Fig. 4 (right axis): unique-shot fraction vs batch size"
+    ).parse_args()
+    sv = StatevectorBackend(16)
+    sv.run_fixed(library.random_brickwork(16, 6, rng=make_rng(99)).freeze())
+    rows = []
+    print(f"{'batch':>9} {'unique fraction':>16}")
+    for batch in BATCHES:
+        bits = sv.sample(batch, range(16), make_rng(batch))
+        frac = unique_fraction(bits)
+        print(f"{batch:>9d} {frac:>16.3f}")
+        rows.append({"batch_shots": batch, "unique_fraction": frac})
+    if args.json:
+        write_json(
+            args.json,
+            "fig4_unique_fraction",
+            rows,
+            workload={"circuit": "random_brickwork", "num_qubits": 16},
+        )

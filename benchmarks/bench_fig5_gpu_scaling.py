@@ -30,11 +30,16 @@ from repro.pts import ProbabilisticPTS
 from repro.rng import make_rng, StreamFactory
 
 
-@pytest.fixture(scope="module")
-def workload():
+def make_workload():
+    """Noisy 10-qubit brickwork shared by the fixture and the --json main."""
     circ = library.random_brickwork(10, 4, rng=make_rng(3), measure=True)
     model = NoiseModel().add_all_qubit_gate_noise("cz", depolarizing(0.01))
     return model.apply(circ).freeze()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload()
 
 
 @pytest.mark.parametrize("num_devices", [1, 2, 4])
@@ -93,3 +98,33 @@ def test_fig5_inset_report(benchmark, workload):
     # Shape: model scaling is monotone and near-linear up to saturation.
     rates = [r for _, r in model_rows]
     assert rates[1] > 1.5 * rates[0]
+
+
+if __name__ == "__main__":
+    from _harness import make_parser, write_json
+
+    args = make_parser("Fig. 5 inset: intra-trajectory device scaling").parse_args()
+    circuit = make_workload()
+    model = PerfModel(PAPER_STATEVECTOR_TIMINGS)
+    rows = []
+    print("perf model (paper-calibrated, 1e6-shot batches):")
+    for d in (1, 2, 4, 8):
+        rate = model.shots_per_second(10**6, num_devices=d)
+        print(f"  {d} device(s): {rate:.3e} shots/s")
+        rows.append({"kind": "perf_model", "num_devices": d, "shots_per_second": rate})
+    print("emulated distributed statevector, communication volume:")
+    for d in (1, 2, 4):
+        dist = DistributedStatevector(10, DeviceMesh(d))
+        dist.run_fixed(circuit)
+        comm = dist.bytes_communicated
+        print(f"  {d} device(s): {comm / 1e6:.3f} MB exchanged")
+        rows.append(
+            {"kind": "distributed_comm", "num_devices": d, "bytes_communicated": comm}
+        )
+    if args.json:
+        write_json(
+            args.json,
+            "fig5_gpu_scaling",
+            rows,
+            workload={"circuit": "random_brickwork", "num_qubits": 10},
+        )

@@ -73,3 +73,48 @@ def test_fig5_report(benchmark, msd_prep_35q):
     # Reproduction assertion: cached batching wins by >10x at 1e3 shots.
     batch, cached_s, naive_s = rows[-1]
     assert naive_s / cached_s > 10
+
+
+if __name__ == "__main__":
+    from _harness import make_parser, write_json
+    from conftest import make_msd_prep_35q
+
+    parser = make_parser("Fig. 5 (tensor network): cached vs naive sampling")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full batch sweep (the 1e3-shot naive point is slow)",
+    )
+    args = parser.parse_args()
+    circuit = make_msd_prep_35q()
+    batches = BATCHES if args.full else BATCHES[:-1]
+    rows = []
+    print(f"{'batch':>7} {'cached s':>10} {'naive s':>10} {'speedup':>8}")
+    for batch in batches:
+        timings = {}
+        for mode in ("cached", "naive"):
+            executor = BatchedExecutor(
+                BackendSpec.mps(max_bond=16), sample_kwargs={"mode": mode}
+            )
+            t0 = time.perf_counter()
+            executor.execute(circuit, [_spec(batch)], seed=0)
+            timings[mode] = time.perf_counter() - t0
+        print(
+            f"{batch:>7d} {timings['cached']:>10.4f} {timings['naive']:>10.4f} "
+            f"{timings['naive'] / timings['cached']:>8.1f}"
+        )
+        rows.append(
+            {
+                "batch_shots": batch,
+                "cached_seconds": timings["cached"],
+                "naive_seconds": timings["naive"],
+                "speedup": timings["naive"] / timings["cached"],
+            }
+        )
+    if args.json:
+        write_json(
+            args.json,
+            "fig5_tensornet",
+            rows,
+            workload={"circuit": "msd_prep_steane", "num_qubits": circuit.num_qubits},
+        )

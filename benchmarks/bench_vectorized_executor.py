@@ -12,9 +12,12 @@ Run under pytest-benchmark:
 
     PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_executor.py -q
 
-or standalone for the quick report table:
+or standalone for the quick report table (``--json PATH`` additionally
+writes the rows as a machine-readable ``BENCH_*.json``, schema in
+``benchmarks/_harness.py``):
 
-    PYTHONPATH=src python benchmarks/bench_vectorized_executor.py
+    PYTHONPATH=src python benchmarks/bench_vectorized_executor.py \
+        --json BENCH_vectorized_executor.json
 """
 
 from __future__ import annotations
@@ -25,7 +28,13 @@ import pytest
 
 from repro.channels import NoiseModel, depolarizing, two_qubit_depolarizing
 from repro.circuits import Circuit
-from repro.execution import BackendSpec, BatchedExecutor, ParallelExecutor, VectorizedExecutor
+from repro.execution import (
+    BackendSpec,
+    BatchedExecutor,
+    ParallelExecutor,
+    ShardedExecutor,
+    VectorizedExecutor,
+)
 from repro.pts.base import NoiseSiteView, PTSAlgorithm
 
 NUM_QUBITS = 12
@@ -92,7 +101,7 @@ def test_vectorized_executor(benchmark, workload, num_traj):
     )
 
 
-def _strategy_rows(workload, num_traj, include_parallel=False):
+def _strategy_rows(workload, num_traj, include_parallel=False, include_sharded=False):
     """(strategy, shots/s, seconds) rows for one trajectory count."""
     specs = _distinct_specs(workload, num_traj)
     executors = [
@@ -101,6 +110,8 @@ def _strategy_rows(workload, num_traj, include_parallel=False):
     ]
     if include_parallel:
         executors.insert(1, ("parallel", ParallelExecutor(num_workers=2)))
+    if include_sharded:
+        executors.append(("sharded", ShardedExecutor(devices=2)))
     rows = []
     total_shots = num_traj * SHOTS_PER_TRAJECTORY
     for name, executor in executors:
@@ -140,9 +151,38 @@ def test_strategy_report(benchmark, workload):
 
 
 if __name__ == "__main__":
+    from _harness import make_parser, write_json
+
+    args = make_parser(__doc__.splitlines()[0]).parse_args()
     circuit = _brickwork_circuit()
     print(f"workload: {circuit}")
     print(f"{'trajectories':>12} {'strategy':>11} {'shots/s':>12} {'seconds':>9}")
+    json_rows = []
     for num_traj in TRAJECTORY_COUNTS:
-        for name, rate, seconds in _strategy_rows(circuit, num_traj, include_parallel=(num_traj >= 8)):
+        rows = _strategy_rows(
+            circuit,
+            num_traj,
+            include_parallel=(num_traj >= 8),
+            include_sharded=(num_traj >= 8),
+        )
+        for name, rate, seconds in rows:
             print(f"{num_traj:>12d} {name:>11} {rate:>12.3e} {seconds:>9.4f}")
+            json_rows.append(
+                {
+                    "trajectories": num_traj,
+                    "strategy": name,
+                    "shots_per_second": rate,
+                    "seconds": seconds,
+                }
+            )
+    if args.json:
+        write_json(
+            args.json,
+            "vectorized_executor",
+            json_rows,
+            workload={
+                "circuit": "brickwork",
+                "num_qubits": NUM_QUBITS,
+                "shots_per_trajectory": SHOTS_PER_TRAJECTORY,
+            },
+        )

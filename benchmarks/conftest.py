@@ -26,25 +26,38 @@ MSD_NOISE = (
 )
 
 
-@pytest.fixture(scope="session")
-def msd_bare():
+def make_msd_bare() -> Circuit:
     """5-qubit logical-level MSD circuit with gate noise (Fig. 4 workload,
-    dense-feasible width)."""
+    dense-feasible width).  Plain function so the standalone ``--json``
+    benchmark mains can rebuild the workload without pytest."""
     return MSD_NOISE.apply(msd_benchmark_circuit(None)).freeze()
 
 
-@pytest.fixture(scope="session")
-def msd_steane_35q():
+def make_msd_steane_35q() -> Circuit:
     """35-qubit Steane-encoded MSD circuit (the paper's statevector
     workload; run here on the MPS backend)."""
     return MSD_NOISE.apply(msd_benchmark_circuit(steane_code())).freeze()
 
 
-@pytest.fixture(scope="session")
-def msd_prep_35q():
+def make_msd_prep_35q() -> Circuit:
     """35-qubit MSD preparation circuit (Fig. 5's workload shape)."""
     model = NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(0.005))
     return model.apply(msd_preparation_circuit(steane_code())).freeze()
+
+
+@pytest.fixture(scope="session")
+def msd_bare():
+    return make_msd_bare()
+
+
+@pytest.fixture(scope="session")
+def msd_steane_35q():
+    return make_msd_steane_35q()
+
+
+@pytest.fixture(scope="session")
+def msd_prep_35q():
+    return make_msd_prep_35q()
 
 
 @pytest.fixture(scope="session")

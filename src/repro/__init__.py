@@ -76,6 +76,7 @@ from repro.execution import (
     BatchedExecutor,
     ParallelExecutor,
     PTSBEResult,
+    ShardedExecutor,
     ShotTable,
     VectorizedExecutor,
     run_ptsbe,
@@ -137,6 +138,7 @@ __all__ = [
     "BatchedExecutor",
     "ParallelExecutor",
     "VectorizedExecutor",
+    "ShardedExecutor",
     "PTSBEResult",
     "ShotTable",
     "run_ptsbe",

@@ -33,6 +33,13 @@ zeroed, and no shots are drawn — matching the serial engine's
 Sampling stays the cheap polynomial part of the PTSBE story: each row
 keeps its own cached probability/cumulative vector and draws its full shot
 budget with one ``searchsorted`` over all shot uniforms at once.
+
+The stack lives on the array module resolved from ``Config.array_module``
+(:mod:`repro.linalg.backend`): NumPy on host, CuPy on GPU when available.
+Per-row probability vectors are transferred to host at the sampling
+boundary, and shots are always drawn with host NumPy streams — the
+``(seed, trajectory_id)`` determinism contract does not depend on where
+the stack was prepared.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ import numpy as np
 from repro.backends.base import validate_deferred_measurement
 from repro.backends.statevector import bits_from_indices
 from repro.linalg.apply import apply_matrix_stack
+from repro.linalg.backend import get_array_backend
 from repro.circuits.circuit import Circuit
 from repro.circuits.operations import GateOp, NoiseOp
 from repro.config import Config, DEFAULT_CONFIG
@@ -94,8 +102,10 @@ class BatchedStatevectorBackend:
             )
         self.num_qubits = int(num_qubits)
         self._config = config
+        self._ab = get_array_backend(config.array_module)
+        self._xp = self._ab.xp
         self._dim = 2**self.num_qubits
-        self._stack: np.ndarray = np.empty((0, self._dim), dtype=config.dtype)
+        self._stack = self._xp.empty((0, self._dim), dtype=config.dtype)
         self._alive: np.ndarray = np.empty(0, dtype=bool)
         self._probs_cache: Dict[int, np.ndarray] = {}
         self._cumsum_cache: Dict[int, np.ndarray] = {}
@@ -119,6 +129,16 @@ class BatchedStatevectorBackend:
         """Boolean mask of rows that still hold a valid (non-dead) state."""
         return self._alive
 
+    @property
+    def config(self) -> Config:
+        """The configuration this backend was built with."""
+        return self._config
+
+    @property
+    def array_backend(self):
+        """The resolved :class:`~repro.linalg.backend.ArrayBackend`."""
+        return self._ab
+
     def reset(self, batch_size: Optional[int] = None) -> None:
         """Reset every row to |0...0>, optionally resizing the stack."""
         b = self.batch_size if batch_size is None else int(batch_size)
@@ -129,13 +149,17 @@ class BatchedStatevectorBackend:
                 f"stack of {b} x 2**{self.num_qubits} amplitudes exceeds the dense "
                 f"budget of 2**{self._config.max_dense_qubits} (max {self.max_batch_rows} rows)"
             )
-        self._stack = np.zeros((b, self._dim), dtype=self._config.dtype)
+        self._stack = self._xp.zeros((b, self._dim), dtype=self._config.dtype)
         self._stack[:, 0] = 1.0
         self._alive = np.ones(b, dtype=bool)
         self._invalidate()
 
-    def statevector(self, row: int) -> np.ndarray:
-        """Row ``row``'s amplitude array (a direct view — do not mutate)."""
+    def statevector(self, row: int):
+        """Row ``row``'s amplitude array (a direct view — do not mutate).
+
+        Lives on the backend's array module; use
+        ``backend.array_backend.to_host(...)`` for a host copy.
+        """
         return self._stack[row]
 
     def _invalidate(self) -> None:
@@ -160,7 +184,7 @@ class BatchedStatevectorBackend:
         targets = list(targets)
         k = len(targets)
         dim_k = 2**k
-        matrix = np.asarray(matrix)
+        matrix = np.asarray(matrix) if not hasattr(matrix, "shape") else matrix
         if matrix.shape != (dim_k, dim_k):
             raise BackendError(
                 f"matrix shape {matrix.shape} incompatible with targets {targets}"
@@ -183,24 +207,27 @@ class BatchedStatevectorBackend:
                 rows = None  # the "sub-slice" is the whole stack
         if rows is None:
             self._stack = apply_matrix_stack(
-                self._stack, matrix, targets, self.num_qubits, self._config.dtype
+                self._stack, matrix, targets, self.num_qubits, self._config.dtype,
+                xp=self._xp,
             )
         else:
             if rows.size == 0:
                 return
             self._stack[rows] = apply_matrix_stack(
-                np.ascontiguousarray(self._stack[rows]),
+                self._xp.ascontiguousarray(self._stack[rows]),
                 matrix,
                 targets,
                 self.num_qubits,
                 self._config.dtype,
+                xp=self._xp,
             )
         self._invalidate()
 
     def norms_squared(self) -> np.ndarray:
-        """Per-row <psi|psi> of the current stack."""
+        """Per-row <psi|psi> of the current stack (host NumPy)."""
+        xp = self._xp
         return np.array(
-            [float(np.real(np.vdot(row, row))) for row in self._stack]
+            [float(xp.real(xp.vdot(row, row))) for row in self._stack]
         )
 
     # ------------------------------------------------------------------ #
@@ -276,7 +303,7 @@ class BatchedStatevectorBackend:
                 if idx != majority
             }
             snapshots = {
-                idx: np.ascontiguousarray(self._stack[rows])
+                idx: self._xp.ascontiguousarray(self._stack[rows])
                 for idx, rows in minority_rows.items()
             }
             self.apply_matrix(channel.kraus_ops[majority], op.qubits)
@@ -287,11 +314,17 @@ class BatchedStatevectorBackend:
                     list(op.qubits),
                     self.num_qubits,
                     self._config.dtype,
+                    xp=self._xp,
                 )
+        # Per-row vdot is deliberate even though it costs one host sync per
+        # row on a device module: the serial backend computes each norm as
+        # vdot(state, state), and a batched einsum reduction can differ in
+        # summation order (and hence in the last ulp), which would break
+        # the bitwise serial/stacked equivalence contract.
         for rows in groups.values():
             for row in rows:
                 state = self._stack[row]
-                n2 = float(np.real(np.vdot(state, state)))
+                n2 = float(self._xp.real(self._xp.vdot(state, state)))
                 if n2 <= _DEAD_NORM:
                     # This branch annihilates the actual state (nominal
                     # probabilities are only priors for general channels).
@@ -307,14 +340,18 @@ class BatchedStatevectorBackend:
     # stacked probabilities and bulk sampling
     # ------------------------------------------------------------------ #
     def probabilities(self, row: int) -> np.ndarray:
-        """|amplitude|**2 of one row (cached until the stack mutates)."""
+        """|amplitude|**2 of one row (cached until the stack mutates).
+
+        Always returned on host NumPy — the array-module boundary feeding
+        the sampling layer.
+        """
         cached = self._probs_cache.get(row)
         if cached is None:
-            probs = np.abs(self._stack[row]) ** 2
+            probs = self._xp.abs(self._stack[row]) ** 2
             total = probs.sum()
-            if total <= 0:
+            if float(total) <= 0:
                 raise BackendError(f"stack row {row} has zero norm (dead trajectory)")
-            cached = (probs / total).astype(np.float64, copy=False)
+            cached = self._ab.to_host(probs / total).astype(np.float64, copy=False)
             self._probs_cache[row] = cached
         return cached
 
@@ -387,5 +424,5 @@ class BatchedStatevectorBackend:
     def __repr__(self) -> str:
         return (
             f"BatchedStatevectorBackend(qubits={self.num_qubits}, "
-            f"batch={self.batch_size}, dtype={self._config.dtype})"
+            f"batch={self.batch_size}, dtype={self._config.dtype}, xp={self._ab.name})"
         )

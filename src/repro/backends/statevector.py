@@ -8,6 +8,13 @@ Implementation notes (following the HPC guides):
   exposes the target axes with pure reshape views and updates them in one
   ``einsum`` pass — the same kernel the trajectory-stacked backend runs,
   which keeps serial and vectorized execution bitwise identical.
+* All state math routes through the pluggable array-module layer
+  (:mod:`repro.linalg.backend`): the state lives on the ``xp`` namespace
+  resolved from ``Config.array_module`` (NumPy on host, CuPy on GPU when
+  available), while probabilities crossing the sampling boundary are
+  transferred to host — shots are always drawn with host NumPy streams so
+  the ``(seed, trajectory_id)`` determinism contract is independent of
+  where the state was prepared.
 * Bulk sampling is fully vectorized: one cumulative sum of the probability
   vector, then ``searchsorted`` over all shot uniforms at once.  Its cost is
   ``O(2**n + m log 2**n)`` — *polynomial in the state, trivial per shot* —
@@ -29,6 +36,7 @@ from repro.backends.base import PureStateBackend
 from repro.config import Config, DEFAULT_CONFIG
 from repro.errors import BackendError, CapacityError
 from repro.linalg.apply import apply_matrix_stack
+from repro.linalg.backend import get_array_backend
 
 __all__ = ["StatevectorBackend", "bits_from_indices"]
 
@@ -37,6 +45,8 @@ def bits_from_indices(indices: np.ndarray, qubits: Sequence[int], num_qubits: in
     """Extract bit columns for ``qubits`` from basis-state indices.
 
     Qubit 0 is the most significant bit of an index (library convention).
+    Always host NumPy: shot indices cross the array-module boundary before
+    they become :class:`~repro.execution.results.ShotTable` rows.
     Returns ``(len(indices), len(qubits))`` uint8.
     """
     indices = np.asarray(indices, dtype=np.uint64)
@@ -58,8 +68,10 @@ class StatevectorBackend(PureStateBackend):
             )
         self.num_qubits = int(num_qubits)
         self._config = config
+        self._ab = get_array_backend(config.array_module)
+        self._xp = self._ab.xp
         self._dim = 2**self.num_qubits
-        self._state = np.zeros(self._dim, dtype=config.dtype)
+        self._state = self._xp.zeros(self._dim, dtype=config.dtype)
         self._state[0] = 1.0
         self._probs_cache: Optional[np.ndarray] = None
         self._cumsum_cache: Optional[np.ndarray] = None
@@ -68,19 +80,28 @@ class StatevectorBackend(PureStateBackend):
     # state access
     # ------------------------------------------------------------------ #
     @property
-    def statevector(self) -> np.ndarray:
-        """The amplitude array (a direct reference — do not mutate)."""
+    def array_backend(self):
+        """The resolved :class:`~repro.linalg.backend.ArrayBackend`."""
+        return self._ab
+
+    @property
+    def statevector(self):
+        """The amplitude array (a direct reference — do not mutate).
+
+        Lives on the backend's array module; use
+        ``backend.array_backend.to_host(...)`` for a host copy.
+        """
         return self._state
 
     def set_statevector(self, state: np.ndarray, normalize: bool = False) -> None:
         """Load an externally prepared state (e.g. from a QEC encoder)."""
-        state = np.asarray(state, dtype=self._config.dtype).reshape(-1)
+        state = self._ab.asarray(state, dtype=self._config.dtype).reshape(-1)
         if state.shape[0] != self._dim:
             raise BackendError(
                 f"state has dimension {state.shape[0]}, expected {self._dim}"
             )
         if normalize:
-            nrm = np.linalg.norm(state)
+            nrm = float(self._xp.linalg.norm(state))
             if nrm == 0:
                 raise BackendError("cannot normalize the zero vector")
             state = state / nrm
@@ -96,6 +117,8 @@ class StatevectorBackend(PureStateBackend):
         out = StatevectorBackend.__new__(StatevectorBackend)
         out.num_qubits = self.num_qubits
         out._config = self._config
+        out._ab = self._ab
+        out._xp = self._xp
         out._dim = self._dim
         out._state = self._state.copy()
         out._probs_cache = None
@@ -113,7 +136,7 @@ class StatevectorBackend(PureStateBackend):
         targets = list(targets)
         k = len(targets)
         dim_k = 2**k
-        matrix = np.asarray(matrix)
+        matrix = np.asarray(matrix) if not hasattr(matrix, "shape") else matrix
         if matrix.shape != (dim_k, dim_k):
             raise BackendError(
                 f"matrix shape {matrix.shape} incompatible with targets {targets}"
@@ -124,13 +147,18 @@ class StatevectorBackend(PureStateBackend):
             raise BackendError(f"duplicate targets {targets}")
 
         out = apply_matrix_stack(
-            self._state.reshape(1, -1), matrix, targets, self.num_qubits, self._config.dtype
+            self._state.reshape(1, -1),
+            matrix,
+            targets,
+            self.num_qubits,
+            self._config.dtype,
+            xp=self._xp,
         )
         self._state = out.reshape(-1)
         self._invalidate()
 
     def norm_squared(self) -> float:
-        return float(np.real(np.vdot(self._state, self._state)))
+        return float(self._xp.real(self._xp.vdot(self._state, self._state)))
 
     def renormalize(self) -> float:
         n2 = self.norm_squared()
@@ -142,13 +170,14 @@ class StatevectorBackend(PureStateBackend):
 
     def expectation_local(self, matrix: np.ndarray, qubits: Sequence[int]) -> complex:
         """<psi|M|psi> without copying the full state twice."""
+        xp = self._xp
         qubits = list(qubits)
         k = len(qubits)
         psi = self._state.reshape((2,) * self.num_qubits)
-        psi = np.moveaxis(psi, qubits, range(k))
-        psi = np.ascontiguousarray(psi).reshape(2**k, -1)
-        phi = np.asarray(matrix) @ psi
-        return complex(np.sum(psi.conj() * phi))
+        psi = xp.moveaxis(psi, qubits, range(k))
+        psi = xp.ascontiguousarray(psi).reshape(2**k, -1)
+        phi = self._ab.asarray(matrix) @ psi
+        return complex(xp.sum(psi.conj() * phi))
 
     def expectation_pauli(self, pauli) -> float:
         """Expectation of a :class:`~repro.channels.pauli.PauliString`."""
@@ -162,20 +191,26 @@ class StatevectorBackend(PureStateBackend):
             else:
                 mat = np.array([[1.0, 0.0], [0.0, -1.0]])
             work.apply_matrix(mat, [q])
-        val = np.vdot(self._state, work._state) * pauli.phase_factor()
+        val = complex(self._xp.vdot(self._state, work._state)) * pauli.phase_factor()
         return float(np.real(val))
 
     # ------------------------------------------------------------------ #
     # probabilities and sampling
     # ------------------------------------------------------------------ #
     def probabilities(self) -> np.ndarray:
-        """|amplitude|**2 over all basis states (cached until mutation)."""
+        """|amplitude|**2 over all basis states (cached until mutation).
+
+        Always returned on host: this is the array-module boundary that
+        feeds sampling and analysis.
+        """
         if self._probs_cache is None:
-            probs = np.abs(self._state) ** 2
+            probs = self._xp.abs(self._state) ** 2
             total = probs.sum()
-            if total <= 0:
+            if float(total) <= 0:
                 raise BackendError("state has zero norm")
-            self._probs_cache = (probs / total).astype(np.float64, copy=False)
+            self._probs_cache = self._ab.to_host(probs / total).astype(
+                np.float64, copy=False
+            )
         return self._probs_cache
 
     def _cumulative(self) -> np.ndarray:
@@ -186,7 +221,7 @@ class StatevectorBackend(PureStateBackend):
         return self._cumsum_cache
 
     def sample_indices(self, num_shots: int, rng: np.random.Generator) -> np.ndarray:
-        """Vectorized bulk sampling of basis-state indices."""
+        """Vectorized bulk sampling of basis-state indices (host NumPy)."""
         if num_shots < 0:
             raise BackendError("num_shots must be >= 0")
         if num_shots == 0:
@@ -213,14 +248,15 @@ class StatevectorBackend(PureStateBackend):
         explicit post-selection (e.g. magic-state distillation accepts only
         trivial syndromes).
         """
+        xp = self._xp
         psi = self._state.reshape((2,) * self.num_qubits)
-        psi = np.moveaxis(psi, [qubit], [0])
-        p1 = float(np.sum(np.abs(psi[1]) ** 2))
+        psi = xp.moveaxis(psi, [qubit], [0])
+        p1 = float(xp.sum(xp.abs(psi[1]) ** 2))
         prob = p1 if outcome == 1 else 1.0 - p1
         if prob <= 0:
             raise BackendError(f"outcome {outcome} on qubit {qubit} has zero probability")
         psi[1 - outcome] = 0.0
-        self._state = np.ascontiguousarray(np.moveaxis(psi, [0], [qubit])).reshape(-1)
+        self._state = xp.ascontiguousarray(xp.moveaxis(psi, [0], [qubit])).reshape(-1)
         self.renormalize()
         return prob
 
@@ -228,7 +264,10 @@ class StatevectorBackend(PureStateBackend):
         """|<psi|phi>|**2 against another backend of equal width."""
         if other.num_qubits != self.num_qubits:
             raise BackendError("fidelity requires equal qubit counts")
-        return float(abs(np.vdot(self._state, other._state)) ** 2)
+        return float(abs(complex(self._xp.vdot(self._state, other._state))) ** 2)
 
     def __repr__(self) -> str:
-        return f"StatevectorBackend(qubits={self.num_qubits}, dtype={self._config.dtype})"
+        return (
+            f"StatevectorBackend(qubits={self.num_qubits}, dtype={self._config.dtype}, "
+            f"xp={self._ab.name})"
+        )

@@ -32,6 +32,12 @@ class Config:
     dtype:
         Complex dtype of dense state storage. ``complex128`` (default) or
         ``complex64`` (the paper's choice on GPU).
+    array_module:
+        Which array module the dense backends run their state math on:
+        ``"numpy"``, ``"cupy"``, or ``"auto"`` (default — CuPy when
+        importable, NumPy otherwise).  Resolved by
+        :func:`repro.linalg.backend.get_array_backend`; sampling and
+        ``ShotTable`` construction stay NumPy-on-host regardless.
     atol:
         Absolute tolerance for verification checks.
     max_dense_qubits:
@@ -47,6 +53,7 @@ class Config:
     """
 
     dtype: np.dtype = np.dtype(np.complex128)
+    array_module: str = "auto"
     atol: float = ATOL
     max_dense_qubits: int = 26
     max_density_qubits: int = 12

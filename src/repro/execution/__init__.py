@@ -5,9 +5,11 @@ full shot batch in bulk (:mod:`repro.execution.batched`), schedules
 trajectories across emulated devices (:mod:`repro.execution.scheduler`),
 optionally fans them out over worker processes — the paper's
 "embarrassingly parallel" inter-trajectory axis
-(:mod:`repro.execution.parallel`) — or stacks them into a single
+(:mod:`repro.execution.parallel`) — stacks them into a single
 ``(B, 2**n)`` tensor evolved in lockstep
-(:mod:`repro.execution.vectorized`).  Results carry per-shot provenance
+(:mod:`repro.execution.vectorized`), or composes both axes by sharding
+dedup groups across a device pool with stacked chunks per shard
+(:mod:`repro.execution.sharded`).  Results carry per-shot provenance
 (:mod:`repro.execution.results`).  Every strategy draws identical
 per-trajectory shots for a fixed seed; for specs in ascending
 trajectory-id order (what every PTS algorithm emits) the shot tables
@@ -16,10 +18,16 @@ pick which.
 """
 
 from repro.execution.results import ShotTable, TrajectoryResult, PTSBEResult
-from repro.execution.batched import BackendSpec, BatchedExecutor, run_ptsbe
+from repro.execution.batched import (
+    BackendSpec,
+    BatchedExecutor,
+    run_ptsbe,
+    VALID_STRATEGIES,
+)
 from repro.execution.scheduler import Scheduler, round_robin, greedy_by_cost
 from repro.execution.parallel import ParallelExecutor
 from repro.execution.vectorized import VectorizedExecutor
+from repro.execution.sharded import ShardedExecutor
 
 __all__ = [
     "ShotTable",
@@ -28,9 +36,11 @@ __all__ = [
     "BackendSpec",
     "BatchedExecutor",
     "run_ptsbe",
+    "VALID_STRATEGIES",
     "Scheduler",
     "round_robin",
     "greedy_by_cost",
     "ParallelExecutor",
     "VectorizedExecutor",
+    "ShardedExecutor",
 ]

@@ -34,7 +34,7 @@ from repro.execution.results import PTSBEResult, TrajectoryResult
 from repro.pts.base import PTSAlgorithm, PTSResult, TrajectorySpec
 from repro.rng import StreamFactory
 
-__all__ = ["BackendSpec", "BatchedExecutor", "run_ptsbe"]
+__all__ = ["BackendSpec", "BatchedExecutor", "run_ptsbe", "VALID_STRATEGIES"]
 
 
 @dataclass(frozen=True)
@@ -161,31 +161,62 @@ class BatchedExecutor:
         )
 
 
+def _build_serial(backend, sample_kwargs, kwargs):
+    return BatchedExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
+
+
+def _build_parallel(backend, sample_kwargs, kwargs):
+    from repro.execution.parallel import ParallelExecutor
+
+    return ParallelExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
+
+
+def _build_vectorized(backend, sample_kwargs, kwargs):
+    from repro.execution.vectorized import VectorizedExecutor
+
+    return VectorizedExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
+
+
+def _build_sharded(backend, sample_kwargs, kwargs):
+    from repro.execution.sharded import ShardedExecutor
+
+    return ShardedExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
+
+
+#: The strategy dispatch table: every BE engine behind one name.  ``"auto"``
+#: resolves to one of these before lookup.
+STRATEGY_BUILDERS = {
+    "serial": _build_serial,
+    "parallel": _build_parallel,
+    "vectorized": _build_vectorized,
+    "sharded": _build_sharded,
+}
+
+VALID_STRATEGIES = ("auto",) + tuple(STRATEGY_BUILDERS)
+
+
 def _make_executor(
     backend,
     strategy: str,
     sample_kwargs: Optional[Dict],
     executor_kwargs: Optional[Dict],
 ):
-    """Resolve a strategy name to a constructed executor."""
+    """Resolve a strategy name to a constructed executor.
+
+    Unknown names fail up front with the full list of valid strategies —
+    the misuse guard for ``run_ptsbe(strategy=...)``.
+    """
     kwargs = dict(executor_kwargs or {})
     if strategy == "auto":
         kind = backend.kind if isinstance(backend, BackendSpec) else None
         strategy = "vectorized" if kind == "batched_statevector" else "serial"
-    if strategy == "serial":
-        return BatchedExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
-    if strategy == "parallel":
-        from repro.execution.parallel import ParallelExecutor
-
-        return ParallelExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
-    if strategy == "vectorized":
-        from repro.execution.vectorized import VectorizedExecutor
-
-        return VectorizedExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
-    raise ExecutionError(
-        f"unknown strategy {strategy!r}; expected 'auto', 'serial', 'parallel' "
-        "or 'vectorized'"
-    )
+    builder = STRATEGY_BUILDERS.get(strategy)
+    if builder is None:
+        valid = ", ".join(repr(name) for name in VALID_STRATEGIES)
+        raise ExecutionError(
+            f"unknown strategy {strategy!r}; valid strategies are: {valid}"
+        )
+    return builder(backend, sample_kwargs, kwargs)
 
 
 def run_ptsbe(
@@ -216,7 +247,13 @@ def run_ptsbe(
         * ``"parallel"`` — fan specs over a process pool
           (:class:`~repro.execution.parallel.ParallelExecutor`);
         * ``"vectorized"`` — deduplicated ``(B, 2**n)`` trajectory stacks
-          (:class:`~repro.execution.vectorized.VectorizedExecutor`).
+          (:class:`~repro.execution.vectorized.VectorizedExecutor`);
+        * ``"sharded"`` — dedup groups binned across a device pool, each
+          shard running chunked stacks sized to its device's memory
+          (:class:`~repro.execution.sharded.ShardedExecutor`).
+
+        Unknown names are rejected up front with the list of valid
+        strategies.
 
         Every strategy draws identical per-trajectory shots for a fixed
         ``seed``; shot tables also match row for row for specs in
@@ -225,8 +262,8 @@ def run_ptsbe(
         spec position).
     executor_kwargs:
         Extra constructor arguments for the chosen executor, e.g.
-        ``{"num_workers": 4}`` for ``"parallel"`` or ``{"max_batch": 32}``
-        for ``"vectorized"``.
+        ``{"num_workers": 4}`` for ``"parallel"``, ``{"max_batch": 32}``
+        for ``"vectorized"``, or ``{"devices": 4}`` for ``"sharded"``.
 
     Examples
     --------

@@ -8,14 +8,21 @@ while ten smaller ones queue elsewhere.  Two policies:
 
 * :func:`round_robin` — the trivial baseline;
 * :func:`greedy_by_cost` — longest-processing-time-first bin packing on an
-  analytic per-trajectory cost (prep cost + shots * per-shot cost), the
-  classic 4/3-approximation for makespan.
+  analytic per-item cost (prep cost + shots * per-shot cost), the classic
+  4/3-approximation for makespan.
+
+Both policies are generic over the *items* they bin: the parallel
+executor schedules raw :class:`~repro.pts.base.TrajectorySpec`s, while
+the sharded executor schedules deduplicated
+:class:`~repro.pts.base.SpecGroup`s (so that a group is never split
+across devices and each unique state is still prepared exactly once).
+Any item type works as long as the cost function accepts it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,9 +34,9 @@ __all__ = ["Assignment", "Scheduler", "round_robin", "greedy_by_cost"]
 
 @dataclass
 class Assignment:
-    """Result of scheduling: specs per device plus predicted makespan."""
+    """Result of scheduling: items per device plus predicted makespan."""
 
-    per_device: List[List[TrajectorySpec]]
+    per_device: List[List[Any]]
     predicted_loads: List[float]
 
     @property
@@ -48,17 +55,24 @@ class Assignment:
 
 
 def default_cost(spec: TrajectorySpec, prep_cost: float = 1.0, shot_cost: float = 1e-4) -> float:
-    """Analytic trajectory cost: one preparation plus per-shot sampling."""
-    return prep_cost + shot_cost * spec.num_shots
+    """Analytic item cost: one preparation plus per-shot sampling.
+
+    Works for any item exposing ``num_shots`` (a spec) or ``total_shots``
+    (a dedup group).
+    """
+    shots = getattr(spec, "num_shots", None)
+    if shots is None:
+        shots = spec.total_shots
+    return prep_cost + shot_cost * shots
 
 
-def round_robin(specs: Sequence[TrajectorySpec], num_devices: int,
-                cost_fn: Optional[Callable[[TrajectorySpec], float]] = None) -> Assignment:
-    """Deal specs to devices in order."""
+def round_robin(specs: Sequence[Any], num_devices: int,
+                cost_fn: Optional[Callable[[Any], float]] = None) -> Assignment:
+    """Deal items to devices in order."""
     if num_devices <= 0:
         raise ExecutionError("num_devices must be positive")
     cost_fn = cost_fn or default_cost
-    per_device: List[List[TrajectorySpec]] = [[] for _ in range(num_devices)]
+    per_device: List[List[Any]] = [[] for _ in range(num_devices)]
     loads = [0.0] * num_devices
     for i, spec in enumerate(specs):
         d = i % num_devices
@@ -67,13 +81,13 @@ def round_robin(specs: Sequence[TrajectorySpec], num_devices: int,
     return Assignment(per_device, loads)
 
 
-def greedy_by_cost(specs: Sequence[TrajectorySpec], num_devices: int,
-                   cost_fn: Optional[Callable[[TrajectorySpec], float]] = None) -> Assignment:
+def greedy_by_cost(specs: Sequence[Any], num_devices: int,
+                   cost_fn: Optional[Callable[[Any], float]] = None) -> Assignment:
     """Longest-processing-time-first: sort by cost, assign to least-loaded."""
     if num_devices <= 0:
         raise ExecutionError("num_devices must be positive")
     cost_fn = cost_fn or default_cost
-    per_device: List[List[TrajectorySpec]] = [[] for _ in range(num_devices)]
+    per_device: List[List[Any]] = [[] for _ in range(num_devices)]
     loads = [0.0] * num_devices
     for spec in sorted(specs, key=cost_fn, reverse=True):
         d = int(np.argmin(loads))
@@ -83,16 +97,16 @@ def greedy_by_cost(specs: Sequence[TrajectorySpec], num_devices: int,
 
 
 class Scheduler:
-    """Policy holder used by the parallel executor."""
+    """Policy holder used by the parallel and sharded executors."""
 
     POLICIES = {"round_robin": round_robin, "greedy": greedy_by_cost}
 
     def __init__(self, policy: str = "greedy",
-                 cost_fn: Optional[Callable[[TrajectorySpec], float]] = None):
+                 cost_fn: Optional[Callable[[Any], float]] = None):
         if policy not in self.POLICIES:
             raise ExecutionError(f"unknown scheduling policy {policy!r}")
         self.policy = policy
         self.cost_fn = cost_fn
 
-    def assign(self, specs: Sequence[TrajectorySpec], num_devices: int) -> Assignment:
+    def assign(self, specs: Sequence[Any], num_devices: int) -> Assignment:
         return self.POLICIES[self.policy](specs, num_devices, self.cost_fn)

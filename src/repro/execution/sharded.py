@@ -1,0 +1,238 @@
+"""Device-sharded trajectory-stacked execution (the fourth BE strategy).
+
+The paper's two parallel axes composed in one engine ("the calculation
+process trivially scales to arbitrarily many GPUs", §3):
+
+1. **Deduplicate once** — specs are grouped by
+   :meth:`~repro.pts.base.TrajectorySpec.dedup_key` *before* scheduling,
+   so a unique Kraus prescription is prepared exactly once globally, never
+   once per device;
+2. **Shard groups across devices** —
+   :func:`~repro.execution.scheduler.greedy_by_cost` bins whole dedup
+   groups over a device pool, with per-group costs from the
+   :mod:`repro.devices.perf_model` timing constants (prep once + merged
+   shot budget), so skewed shot budgets still balance;
+3. **Stack within each device** — every shard runs as chunked
+   ``(B, 2**n)`` stacks via the
+   :class:`~repro.execution.vectorized.VectorizedExecutor` machinery,
+   with the chunk row count sized *per device* from its memory capacity
+   (:func:`~repro.devices.memory.statevector_bytes`) on top of the global
+   dense budget and any user ``max_batch``.
+
+Determinism: every trajectory samples from the stream derived from
+``(seed, trajectory_id)`` and stacked preparation is bitwise identical to
+serial preparation row by row, so the resulting ``ShotTable`` is bitwise
+identical to the ``"serial"`` and ``"vectorized"`` strategies for *any*
+device count, shard assignment, or per-device ``max_batch`` — verified in
+``tests/test_sharded.py``.
+
+Devices are emulated by default (shards run sequentially in-process,
+standing in for GPUs); ``num_workers > 1`` fans shards over OS processes
+like :class:`~repro.execution.parallel.ParallelExecutor` does, with the
+same result ordering guarantees.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.circuits.circuit import Circuit
+from repro.config import DEFAULT_CONFIG
+from repro.devices.device import Device, DeviceMesh
+from repro.devices.memory import statevector_bytes
+from repro.devices.perf_model import BackendTimings, PAPER_STATEVECTOR_TIMINGS
+from repro.errors import CapacityError, ExecutionError
+from repro.execution.batched import BackendSpec
+from repro.execution.results import PTSBEResult, TrajectoryResult
+from repro.execution.scheduler import Scheduler
+from repro.execution.vectorized import VectorizedExecutor
+from repro.pts.base import SpecGroup, TrajectorySpec, deduplicate_specs
+
+__all__ = ["ShardedExecutor"]
+
+#: Memory headroom per stacked row: the dense gate kernel writes into a
+#: fresh output buffer (``out = xp.empty_like(view)``), so peak usage is
+#: ~2x the resident ``(B, 2**n)`` stack.  Sizing chunks at half the
+#: device's capacity keeps the kernel's transient inside the budget.
+_WORKSPACE_FACTOR = 2
+
+
+def _shard_worker(args) -> List[Tuple[int, TrajectoryResult]]:
+    """Top-level worker (must be module-level for pickling).
+
+    Receives one device shard as ``(global_index, spec)`` pairs and runs
+    it as chunked trajectory stacks; returns results tagged with their
+    global spec positions so the caller can restore exact spec order.
+    """
+    circuit, backend_spec, indexed_specs, chunk_rows, seed = args
+    indices = [i for i, _ in indexed_specs]
+    specs = [s for _, s in indexed_specs]
+    executor = VectorizedExecutor(backend_spec, max_batch=chunk_rows)
+    result = executor.execute(circuit, specs, seed=seed)
+    return list(zip(indices, result.trajectories))
+
+
+class ShardedExecutor:
+    """Shard dedup groups across a device pool; stack within each shard.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`BackendSpec` of kind ``"batched_statevector"`` or
+        ``"statevector"`` (upgraded to the stacked backend), or a callable
+        ``num_qubits -> backend`` — the same contract as
+        :class:`VectorizedExecutor`.  A picklable :class:`BackendSpec` is
+        required when ``num_workers > 1``.
+    devices:
+        The device pool: a :class:`~repro.devices.device.DeviceMesh`, an
+        explicit sequence of :class:`~repro.devices.device.Device`, or an
+        integer count of identical 80 GB emulated GPUs.  Unlike the
+        distributed-statevector mesh, trajectory sharding has no
+        power-of-two constraint.
+    max_batch:
+        Optional global upper bound on stacked rows per chunk; the
+        effective per-device bound is ``min(max_batch, rows that fit the
+        device's memory, the backend's dense amplitude budget)``.
+    scheduler:
+        A :class:`~repro.execution.scheduler.Scheduler` binning
+        :class:`~repro.pts.base.SpecGroup` items.  Defaults to greedy
+        longest-processing-time-first with costs from ``timings``.
+    timings:
+        :class:`~repro.devices.perf_model.BackendTimings` supplying the
+        prep/shot cost constants for group scheduling (defaults to the
+        paper-calibrated statevector timings — only the *ratio* matters
+        for binning).
+    num_workers:
+        ``1`` (default) runs shards sequentially in-process (emulated
+        devices); larger values fan shards over a process pool.
+    sample_kwargs:
+        Accepted for signature symmetry; must be empty (the stacked dense
+        backend takes no sampling options).
+    """
+
+    def __init__(
+        self,
+        backend: Union[BackendSpec, Callable, None] = None,
+        devices: Union[DeviceMesh, Sequence[Device], int] = 2,
+        max_batch: Optional[int] = None,
+        scheduler: Optional[Scheduler] = None,
+        timings: Optional[BackendTimings] = None,
+        num_workers: int = 1,
+        sample_kwargs: Optional[Dict] = None,
+    ):
+        if backend is None:
+            backend = BackendSpec.batched_statevector()
+        # Reuse the vectorized executor's backend validation up front so
+        # misconfiguration fails at construction, not mid-run.
+        VectorizedExecutor(backend, max_batch=max_batch or 64, sample_kwargs=sample_kwargs)
+        self.backend = backend
+        self.devices = self._normalize_devices(devices)
+        if max_batch is not None and max_batch <= 0:
+            raise ExecutionError(f"max_batch must be positive, got {max_batch}")
+        self.max_batch = max_batch
+        self.timings = timings or PAPER_STATEVECTOR_TIMINGS
+        self.scheduler = scheduler or Scheduler("greedy", cost_fn=self._group_cost)
+        if num_workers <= 0:
+            raise ExecutionError(f"num_workers must be positive, got {num_workers}")
+        if num_workers > 1 and not isinstance(backend, BackendSpec):
+            raise ExecutionError(
+                "ShardedExecutor with num_workers > 1 requires a picklable "
+                "BackendSpec, not a callable backend factory"
+            )
+        self.num_workers = int(num_workers)
+
+    @staticmethod
+    def _normalize_devices(
+        devices: Union[DeviceMesh, Sequence[Device], int]
+    ) -> List[Device]:
+        if isinstance(devices, DeviceMesh):
+            return list(devices)
+        if isinstance(devices, int):
+            if devices <= 0:
+                raise ExecutionError(f"devices must be positive, got {devices}")
+            return [
+                Device(device_id=i, memory_bytes=80 * 10**9, name=f"emulated[{i}]")
+                for i in range(devices)
+            ]
+        pool = list(devices)
+        if not pool:
+            raise ExecutionError("device pool must not be empty")
+        return pool
+
+    def _group_cost(self, group: SpecGroup) -> float:
+        """Perf-model cost of one dedup group: prepare once, sample merged."""
+        return self.timings.prep_seconds + group.total_shots * self.timings.shot_seconds
+
+    def _state_dtype(self):
+        """Dtype used for per-device memory sizing."""
+        if isinstance(self.backend, BackendSpec):
+            config = dict(self.backend.options).get("config")
+            if config is not None:
+                return config.dtype
+        return DEFAULT_CONFIG.dtype
+
+    def _device_chunk_rows(self, device: Device, num_qubits: int) -> int:
+        """Largest stack chunk this device's memory can hold (with the
+        dense kernel's ~2x output-buffer workspace accounted for)."""
+        bytes_per_row = statevector_bytes(num_qubits, dtype=self._state_dtype())
+        rows = device.memory_bytes // (_WORKSPACE_FACTOR * bytes_per_row)
+        if rows < 1:
+            raise CapacityError(
+                f"device {device.name!r} ({device.memory_bytes} bytes) cannot hold "
+                f"one 2**{num_qubits} statevector row plus kernel workspace "
+                f"({_WORKSPACE_FACTOR} x {bytes_per_row} bytes)"
+            )
+        if self.max_batch is not None:
+            rows = min(rows, self.max_batch)
+        return int(rows)
+
+    def execute(
+        self,
+        circuit: Circuit,
+        specs: Sequence[TrajectorySpec],
+        seed: Optional[int] = None,
+    ) -> PTSBEResult:
+        """Dedup once, shard groups over devices, stack within each shard."""
+        circuit.freeze()
+        measured = tuple(circuit.measured_qubits)
+        if not measured:
+            raise ExecutionError("circuit has no measurements to sample")
+        if not specs:
+            raise ExecutionError("no trajectory specs to execute")
+        groups = deduplicate_specs(specs)
+        assignment = self.scheduler.assign(groups, len(self.devices))
+        shards: List[Tuple[Device, List[Tuple[int, TrajectorySpec]]]] = []
+        for device, shard_groups in zip(self.devices, assignment.per_device):
+            if not shard_groups:
+                continue
+            # Keep first-occurrence order within the shard so its local
+            # dedup reproduces exactly these groups.
+            indices = sorted(i for g in shard_groups for i in g.indices)
+            shards.append((device, [(i, specs[i]) for i in indices]))
+        payloads = [
+            (
+                circuit,
+                self.backend,
+                indexed,
+                self._device_chunk_rows(device, circuit.num_qubits),
+                seed,
+            )
+            for device, indexed in shards
+        ]
+        if self.num_workers > 1 and len(payloads) > 1:
+            with ProcessPoolExecutor(max_workers=self.num_workers) as pool:
+                chunks = list(pool.map(_shard_worker, payloads))
+        else:
+            chunks = [_shard_worker(payload) for payload in payloads]
+        results: List[Optional[TrajectoryResult]] = [None] * len(specs)
+        for chunk in chunks:
+            for index, trajectory in chunk:
+                results[index] = trajectory
+        return PTSBEResult(
+            trajectories=results,
+            measured_qubits=measured,
+            prep_seconds=sum(t.prep_seconds for t in results),
+            sample_seconds=sum(t.sample_seconds for t in results),
+            unique_preparations=len(groups),
+        )

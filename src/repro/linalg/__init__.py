@@ -1,5 +1,12 @@
 """Dense linear-algebra helpers shared by the simulation backends."""
 
+from repro.linalg.backend import (
+    ArrayBackend,
+    NUMPY_BACKEND,
+    as_host,
+    cupy_available,
+    get_array_backend,
+)
 from repro.linalg.kron import (
     embed_operator,
     kron_all,
@@ -15,6 +22,11 @@ from repro.linalg.unitary import (
 from repro.linalg.decompositions import truncated_svd, schmidt_decomposition
 
 __all__ = [
+    "ArrayBackend",
+    "NUMPY_BACKEND",
+    "as_host",
+    "cupy_available",
+    "get_array_backend",
     "embed_operator",
     "kron_all",
     "permute_operator_qubits",

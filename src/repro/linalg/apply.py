@@ -26,25 +26,35 @@ The per-element arithmetic never depends on the number of stacked rows,
 which is what makes stacked and row-by-row application bit-for-bit
 interchangeable.  Operators on three or more qubits fall back to a
 moveaxis + batched-GEMM kernel.
+
+The kernel is array-module agnostic (the CuPy drop-in pattern of
+:mod:`repro.linalg.backend`): the stack may live on any ``xp`` namespace
+passed by the caller, while the small ``(2**k, 2**k)`` operator matrix is
+always inspected on host — its entries drive control flow (zero skipping,
+diagonal detection) and scalar coefficients, which would otherwise force
+one device synchronization per element.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
+
+from repro.linalg.backend import as_host
 
 __all__ = ["apply_matrix_stack"]
 
 
 def _accumulate_slices(
-    out_slices: List[np.ndarray], in_slices: List[np.ndarray], matrix: np.ndarray
+    out_slices: List[Any], in_slices: List[Any], matrix: np.ndarray, xp: Any
 ) -> None:
     """out_i = sum_j matrix[i, j] * in_j with fixed j order, skipping zeros.
 
     ``out_slices`` must not alias ``in_slices`` (callers pass a fresh
     output buffer); accumulation happens directly in the output to avoid
-    an extra full-stack copy per slice.
+    an extra full-stack copy per slice.  ``matrix`` is a host array; the
+    slices live on ``xp``.
     """
     for i, dst in enumerate(out_slices):
         started = False
@@ -54,9 +64,9 @@ def _accumulate_slices(
                 continue
             if not started:
                 if c == 1:
-                    np.copyto(dst, src)
+                    xp.copyto(dst, src)
                 else:
-                    np.multiply(src, c, out=dst)
+                    xp.multiply(src, c, out=dst)
                 started = True
             elif c == 1:
                 dst += src
@@ -66,7 +76,7 @@ def _accumulate_slices(
             dst[...] = 0
 
 
-def _scale_slices_inplace(slices: List[np.ndarray], diag: np.ndarray) -> None:
+def _scale_slices_inplace(slices: List[Any], diag: np.ndarray) -> None:
     """slice_i *= diag[i] in place (identity entries skipped)."""
     for d, s in zip(diag, slices):
         if d != 1:
@@ -74,22 +84,27 @@ def _scale_slices_inplace(slices: List[np.ndarray], diag: np.ndarray) -> None:
 
 
 def apply_matrix_stack(
-    stack: np.ndarray,
-    matrix: np.ndarray,
+    stack: Any,
+    matrix: Any,
     targets: Sequence[int],
     num_qubits: int,
     dtype: np.dtype,
-) -> np.ndarray:
+    xp: Optional[Any] = None,
+) -> Any:
     """Apply a ``(2**k, 2**k)`` matrix to ``targets`` of every stack row.
 
-    ``stack`` must be a C-contiguous ``(rows, 2**num_qubits)`` array and
-    is treated as owned by the caller: diagonal operators mutate it in
-    place and return it, dense operators return a fresh array.  No
-    renormalization is performed.
+    ``stack`` must be a C-contiguous ``(rows, 2**num_qubits)`` array on
+    the ``xp`` array module (host NumPy when ``xp`` is omitted) and is
+    treated as owned by the caller: diagonal operators mutate it in place
+    and return it, dense operators return a fresh array on the same
+    module.  ``matrix`` may live on host or device; it is inspected on
+    host either way.  No renormalization is performed.
     """
+    if xp is None:
+        xp = np
     rows, dim = stack.shape
     k = len(targets)
-    m = np.asarray(matrix).astype(dtype, copy=False)
+    m = as_host(matrix).astype(dtype, copy=False)
     dim_k = 2**k
     if k <= 2:
         diag = np.diagonal(m)
@@ -108,8 +123,8 @@ def apply_matrix_stack(
         if diag is not None:
             _scale_slices_inplace(in_slices, diag)
             return stack
-        out = np.empty_like(view)
-        _accumulate_slices([out[:, 0], out[:, 1]], in_slices, m)
+        out = xp.empty_like(view)
+        _accumulate_slices([out[:, 0], out[:, 1]], in_slices, m, xp)
         return out.reshape(rows, dim)
     if k == 2:
         (t1, p1), (t2, _) = sorted(zip(targets, range(2)))
@@ -123,15 +138,15 @@ def apply_matrix_stack(
         if diag is not None:
             _scale_slices_inplace(in_slices, np.diagonal(m))
             return stack
-        out = np.empty_like(view)
+        out = xp.empty_like(view)
         out_slices = [out[:, j, :, l] for j in range(2) for l in range(2)]
-        _accumulate_slices(out_slices, in_slices, m)
+        _accumulate_slices(out_slices, in_slices, m, xp)
         return out.reshape(rows, dim)
     # Generic k-qubit fallback: move target axes up front, one batched GEMM.
     psi = stack.reshape((rows,) + (2,) * num_qubits)
-    psi = np.moveaxis(psi, [t + 1 for t in targets], range(1, k + 1))
+    psi = xp.moveaxis(psi, [t + 1 for t in targets], range(1, k + 1))
     shape_after = psi.shape
-    psi = np.ascontiguousarray(psi).reshape(rows, 2**k, -1)
-    out = np.matmul(m, psi).reshape(shape_after)
-    out = np.moveaxis(out, range(1, k + 1), [t + 1 for t in targets])
-    return np.ascontiguousarray(out).reshape(rows, dim)
+    psi = xp.ascontiguousarray(psi).reshape(rows, 2**k, -1)
+    out = xp.matmul(xp.asarray(m), psi).reshape(shape_after)
+    out = xp.moveaxis(out, range(1, k + 1), [t + 1 for t in targets])
+    return xp.ascontiguousarray(out).reshape(rows, dim)

@@ -1,0 +1,161 @@
+"""Pluggable array-module layer: NumPy always, CuPy when importable.
+
+Every dense-math call site in the library (the gate kernels in
+:mod:`repro.linalg.apply`, the statevector backends, the distributed
+partitioner) takes its array operations from an ``xp`` namespace object
+resolved here instead of importing :mod:`numpy` directly.  This is the
+CuPy drop-in pattern the paper's GPU throughput curves rely on: the same
+kernel source runs the ``(B, 2**n)`` trajectory stack on host (NumPy) or
+device (CuPy) depending on one configuration knob,
+``Config.array_module``:
+
+* ``"numpy"`` — always the host module;
+* ``"cupy"`` — the GPU module, a :class:`~repro.errors.BackendError` if
+  CuPy is not importable;
+* ``"auto"`` (default) — CuPy when importable, NumPy otherwise, so the
+  library degrades cleanly on CPU-only machines (asserted in CI).
+
+The boundary discipline: *states* live on whatever module the backend
+resolved, but everything that crosses into the rest of the library —
+probability vectors feeding the sampling boundary, ``ShotTable`` bits,
+provenance records, weights — is converted back to host NumPy via
+:meth:`ArrayBackend.to_host`.  Shot sampling itself always runs on host
+(NumPy ``Generator`` streams keyed by ``(seed, trajectory_id)``), which
+is what keeps the bitwise determinism contract independent of where the
+state was prepared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.errors import BackendError
+
+__all__ = [
+    "ArrayBackend",
+    "NUMPY_BACKEND",
+    "cupy_available",
+    "get_array_backend",
+    "as_host",
+]
+
+#: Cached result of the one-time CuPy import probe: ``None`` until the
+#: first probe, then the module or ``False``.
+_cupy_module: Any = None
+
+
+def _probe_cupy() -> Any:
+    """Import CuPy once; remember failure so later calls are cheap."""
+    global _cupy_module
+    if _cupy_module is None:
+        try:
+            import cupy  # noqa: F401 — optional dependency, never baked in
+
+            _cupy_module = cupy
+        except ImportError:
+            _cupy_module = False
+    return _cupy_module
+
+
+def cupy_available() -> bool:
+    """True when ``import cupy`` succeeds on this machine."""
+    return bool(_probe_cupy())
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One resolved array module plus its host-transfer helpers.
+
+    Attributes
+    ----------
+    name:
+        ``"numpy"`` or ``"cupy"``.
+    xp:
+        The array-API namespace (the module itself).  Kernels call
+        ``xp.empty_like`` / ``xp.matmul`` / ... on it and never import
+        :mod:`numpy` for state math directly.
+    """
+
+    name: str
+    xp: Any = field(repr=False)
+
+    @property
+    def is_device(self) -> bool:
+        """True when arrays live off-host (device memory)."""
+        return self.name != "numpy"
+
+    def asarray(self, array: Any, dtype: Optional[Any] = None) -> Any:
+        """Move ``array`` onto this module (host -> device when CuPy)."""
+        if dtype is None:
+            return self.xp.asarray(array)
+        return self.xp.asarray(array, dtype=dtype)
+
+    def to_host(self, array: Any) -> np.ndarray:
+        """Bring an array back to host NumPy (identity for NumPy).
+
+        This is the mandatory crossing point back into the rest of the
+        library: probability vectors, sampled indices and anything feeding
+        a :class:`~repro.execution.results.ShotTable` pass through here.
+        """
+        if self.is_device:
+            return self.xp.asnumpy(array)
+        return np.asarray(array)
+
+    def __repr__(self) -> str:
+        return f"ArrayBackend({self.name!r})"
+
+
+#: The always-available host backend.
+NUMPY_BACKEND = ArrayBackend("numpy", np)
+
+
+def get_array_backend(
+    spec: Union[str, ArrayBackend, None] = None,
+) -> ArrayBackend:
+    """Resolve an array-module request to an :class:`ArrayBackend`.
+
+    ``spec`` may be an :class:`ArrayBackend` (returned unchanged), one of
+    the strings ``"auto"`` / ``"numpy"`` / ``"cupy"``, or ``None`` to read
+    :attr:`repro.config.Config.array_module` off the library default
+    config.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if spec is None:
+        from repro.config import DEFAULT_CONFIG
+
+        spec = DEFAULT_CONFIG.array_module
+    if spec == "numpy":
+        return NUMPY_BACKEND
+    if spec == "auto":
+        cupy = _probe_cupy()
+        if cupy:
+            return ArrayBackend("cupy", cupy)
+        return NUMPY_BACKEND
+    if spec == "cupy":
+        cupy = _probe_cupy()
+        if not cupy:
+            raise BackendError(
+                "array_module='cupy' requested but CuPy is not importable; "
+                "install cupy or use 'auto' (which falls back to NumPy)"
+            )
+        return ArrayBackend("cupy", cupy)
+    raise BackendError(
+        f"unknown array_module {spec!r}; expected 'auto', 'numpy' or 'cupy'"
+    )
+
+
+def as_host(array: Any) -> np.ndarray:
+    """Host NumPy view/copy of an array from *any* module.
+
+    Convenience for code handed an array of unknown residence (e.g. a
+    gate matrix that may already live on device): CuPy arrays expose
+    ``.get()``; everything else goes through ``np.asarray``.
+    """
+    get = getattr(array, "get", None)
+    if get is not None and not isinstance(array, np.ndarray):
+        return np.asarray(get())
+    return np.asarray(array)

@@ -1,0 +1,120 @@
+"""The pluggable array-module layer: resolution, fallback, kernel parity."""
+
+import numpy as np
+import pytest
+
+from repro.backends.batched_statevector import BatchedStatevectorBackend
+from repro.backends.statevector import StatevectorBackend
+from repro.config import Config, DEFAULT_CONFIG
+from repro.errors import BackendError
+from repro.linalg.apply import apply_matrix_stack
+from repro.linalg.backend import (
+    NUMPY_BACKEND,
+    ArrayBackend,
+    as_host,
+    cupy_available,
+    get_array_backend,
+)
+
+
+class TestResolution:
+    def test_numpy_is_always_available(self):
+        ab = get_array_backend("numpy")
+        assert ab is NUMPY_BACKEND
+        assert ab.name == "numpy"
+        assert ab.xp is np
+        assert not ab.is_device
+
+    def test_auto_degrades_to_numpy_without_cupy(self):
+        ab = get_array_backend("auto")
+        if cupy_available():
+            assert ab.name == "cupy"
+        else:
+            assert ab is NUMPY_BACKEND
+
+    @pytest.mark.skipif(cupy_available(), reason="cupy installed on this machine")
+    def test_explicit_cupy_fails_loudly_when_absent(self):
+        with pytest.raises(BackendError, match="cupy"):
+            get_array_backend("cupy")
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(BackendError, match="unknown array_module"):
+            get_array_backend("torch")
+
+    def test_backend_instance_passes_through(self):
+        assert get_array_backend(NUMPY_BACKEND) is NUMPY_BACKEND
+
+    def test_none_reads_default_config(self):
+        assert get_array_backend(None).name == get_array_backend(
+            DEFAULT_CONFIG.array_module
+        ).name
+
+    def test_config_field_default(self):
+        assert Config().array_module == "auto"
+        assert Config(array_module="numpy").array_module == "numpy"
+
+
+class TestHostTransfer:
+    def test_asarray_and_to_host_roundtrip(self):
+        arr = np.arange(8, dtype=np.complex128)
+        on_module = NUMPY_BACKEND.asarray(arr)
+        back = NUMPY_BACKEND.to_host(on_module)
+        np.testing.assert_array_equal(back, arr)
+        assert isinstance(back, np.ndarray)
+
+    def test_asarray_casts_dtype(self):
+        arr = NUMPY_BACKEND.asarray([1, 2], dtype=np.complex64)
+        assert arr.dtype == np.complex64
+
+    def test_as_host_handles_plain_arrays(self):
+        np.testing.assert_array_equal(as_host([1.0, 2.0]), np.array([1.0, 2.0]))
+        arr = np.eye(2)
+        assert as_host(arr) is arr or np.array_equal(as_host(arr), arr)
+
+
+class TestKernelParity:
+    """Explicit xp= must be a pure pass-through on the NumPy path."""
+
+    def test_apply_matrix_stack_explicit_xp_matches_default(self):
+        rng = np.random.default_rng(5)
+        stack = rng.normal(size=(3, 8)) + 1j * rng.normal(size=(3, 8))
+        stack = np.ascontiguousarray(stack.astype(np.complex128))
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        a = apply_matrix_stack(stack.copy(), h, [1], 3, np.dtype(np.complex128))
+        b = apply_matrix_stack(
+            stack.copy(), h, [1], 3, np.dtype(np.complex128), xp=np
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_statevector_backend_explicit_numpy_bitwise(self, noisy_ghz3):
+        default = StatevectorBackend(3)
+        explicit = StatevectorBackend(3, config=Config(array_module="numpy"))
+        w0 = default.run_fixed(noisy_ghz3, {0: 1})
+        w1 = explicit.run_fixed(noisy_ghz3, {0: 1})
+        assert w0 == w1
+        np.testing.assert_array_equal(default.statevector, explicit.statevector)
+        assert explicit.array_backend.name == "numpy"
+
+    def test_batched_backend_explicit_numpy_bitwise(self, noisy_ghz3):
+        default = BatchedStatevectorBackend(3)
+        explicit = BatchedStatevectorBackend(3, config=Config(array_module="numpy"))
+        choices = [{}, {0: 1}]
+        w0, a0 = default.run_fixed_stack(noisy_ghz3, choices)
+        w1, a1 = explicit.run_fixed_stack(noisy_ghz3, choices)
+        np.testing.assert_array_equal(w0, w1)
+        np.testing.assert_array_equal(a0, a1)
+        for row in range(2):
+            np.testing.assert_array_equal(
+                default.statevector(row), explicit.statevector(row)
+            )
+
+    def test_probabilities_are_host_numpy(self, noisy_ghz3):
+        backend = StatevectorBackend(3)
+        backend.run_fixed(noisy_ghz3, {})
+        probs = backend.probabilities()
+        assert isinstance(probs, np.ndarray)
+        assert probs.dtype == np.float64
+
+    def test_repr_names_the_module(self):
+        backend = StatevectorBackend(2, config=Config(array_module="numpy"))
+        assert "xp=numpy" in repr(backend)

@@ -1,0 +1,170 @@
+"""Scheduler edge cases and dedup-group merge order-independence."""
+
+import random
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution.scheduler import (
+    Assignment,
+    Scheduler,
+    default_cost,
+    greedy_by_cost,
+    round_robin,
+)
+from repro.pts import TrajectorySpec, deduplicate_specs
+from repro.trajectory.events import KrausEvent, TrajectoryRecord
+
+
+def _spec(tid, shots, events=()):
+    return TrajectorySpec(
+        record=TrajectoryRecord(trajectory_id=tid, events=tuple(events)),
+        num_shots=shots,
+    )
+
+
+def _event(site, kraus):
+    return KrausEvent(
+        site_id=site, kraus_index=kraus, qubits=(0,), channel_name="ch", probability=0.1
+    )
+
+
+class TestEmptySpecList:
+    @pytest.mark.parametrize("policy", [round_robin, greedy_by_cost])
+    def test_empty_specs_yield_empty_bins(self, policy):
+        assignment = policy([], 3)
+        assert assignment.num_devices == 3
+        assert assignment.per_device == [[], [], []]
+        assert assignment.makespan == 0.0
+        assert assignment.imbalance() == 1.0
+
+    def test_empty_assignment_properties(self):
+        empty = Assignment(per_device=[], predicted_loads=[])
+        assert empty.makespan == 0.0
+        assert empty.imbalance() == 1.0
+
+
+class TestOneDevice:
+    @pytest.mark.parametrize("policy", [round_robin, greedy_by_cost])
+    def test_single_device_gets_everything(self, policy):
+        specs = [_spec(i, 100 * (i + 1)) for i in range(5)]
+        assignment = policy(specs, 1)
+        assert assignment.num_devices == 1
+        assert len(assignment.per_device[0]) == 5
+        # One bin is trivially perfectly balanced.
+        assert assignment.imbalance() == 1.0
+        assert assignment.makespan == pytest.approx(
+            sum(default_cost(s) for s in specs)
+        )
+
+
+class TestSkewedBudgets:
+    def test_greedy_isolates_the_giant_trajectory(self):
+        # One 10**7-shot giant and ten small trajectories on two devices:
+        # LPT must put the giant alone and pack the rest together.
+        giant = _spec(0, 10**7)
+        small = [_spec(i, 10) for i in range(1, 11)]
+        assignment = greedy_by_cost([giant] + small, 2)
+        sizes = sorted(len(bin_) for bin_ in assignment.per_device)
+        assert sizes == [1, 10]
+        giant_bin = min(assignment.per_device, key=len)
+        assert giant_bin[0].num_shots == 10**7
+
+    def test_greedy_imbalance_bounds(self):
+        giant = _spec(0, 10**7)
+        small = [_spec(i, 10) for i in range(1, 11)]
+        greedy = greedy_by_cost([giant] + small, 2)
+        naive = round_robin([giant] + small, 2)
+        # imbalance is max/mean: always >= 1, and the giant dominates both
+        # schedules so neither can beat max_cost/mean — but greedy must be
+        # no worse than dealing in order.
+        assert 1.0 <= greedy.imbalance() <= naive.imbalance()
+        assert greedy.makespan <= naive.makespan
+        # LPT's 4/3 guarantee against the trivial lower bound
+        # max(largest item, total/m).
+        costs = [default_cost(s) for s in [giant] + small]
+        lower = max(max(costs), sum(costs) / 2)
+        assert greedy.makespan <= (4 / 3) * lower
+
+    def test_lpt_beats_round_robin_on_alternating_skew(self):
+        # Costs alternate big/small so round robin stacks all the bigs on
+        # one device; LPT balances them.
+        shots = [10**6, 10, 10**6, 10, 10**6, 10]
+        specs = [_spec(i, s) for i, s in enumerate(shots)]
+        greedy = greedy_by_cost(specs, 2)
+        naive = round_robin(specs, 2)
+        assert greedy.makespan < naive.makespan
+        assert greedy.imbalance() < naive.imbalance()
+
+    def test_scheduler_policy_validation(self):
+        with pytest.raises(ExecutionError):
+            Scheduler("best-fit-decreasing")
+        with pytest.raises(ExecutionError):
+            round_robin([_spec(0, 1)], 0)
+        with pytest.raises(ExecutionError):
+            greedy_by_cost([_spec(0, 1)], -1)
+
+
+class TestGroupCosts:
+    def test_default_cost_accepts_groups(self):
+        specs = [_spec(0, 100, [_event(0, 1)]), _spec(1, 50, [_event(0, 1)])]
+        (group,) = deduplicate_specs(specs)
+        # A group costs one preparation plus its *merged* budget.
+        assert default_cost(group) == pytest.approx(1.0 + 1e-4 * 150)
+
+    def test_greedy_bins_groups(self):
+        specs = [
+            _spec(0, 1000, [_event(0, 1)]),
+            _spec(1, 1000, [_event(0, 1)]),
+            _spec(2, 10, [_event(0, 2)]),
+            _spec(3, 10, [_event(1, 1)]),
+        ]
+        groups = deduplicate_specs(specs)
+        assignment = greedy_by_cost(groups, 2)
+        # The merged heavy group lands alone; the two light groups share.
+        sizes = sorted(len(bin_) for bin_ in assignment.per_device)
+        assert sizes == [1, 2]
+
+
+class TestDedupMergeOrderIndependence:
+    def _random_specs(self, rng):
+        signatures = [
+            (),
+            ((0, 1),),
+            ((0, 2),),
+            ((0, 1), (1, 1)),
+            ((1, 2),),
+        ]
+        specs = []
+        for tid in range(40):
+            sig = signatures[rng.randrange(len(signatures))]
+            events = [_event(site, kraus) for site, kraus in sig]
+            specs.append(_spec(tid, rng.randrange(1, 500), events))
+        return specs
+
+    def test_total_shots_per_key_invariant_under_shuffle(self):
+        rng = random.Random(99)
+        specs = self._random_specs(rng)
+        budgets = {
+            g.key: g.total_shots for g in deduplicate_specs(specs)
+        }
+        for _ in range(5):
+            shuffled = specs[:]
+            rng.shuffle(shuffled)
+            reshuffled = {
+                g.key: g.total_shots for g in deduplicate_specs(shuffled)
+            }
+            assert reshuffled == budgets
+
+    def test_groups_preserve_first_occurrence_order(self):
+        specs = [
+            _spec(0, 5, [_event(0, 2)]),
+            _spec(1, 5),
+            _spec(2, 5, [_event(0, 2)]),
+            _spec(3, 5, [_event(1, 1)]),
+        ]
+        groups = deduplicate_specs(specs)
+        assert [g.indices for g in groups] == [(0, 2), (1,), (3,)]
+        # Indices within a group ascend (first-occurrence order).
+        for g in groups:
+            assert list(g.indices) == sorted(g.indices)

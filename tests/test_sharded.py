@@ -1,0 +1,231 @@
+"""Device-sharded stacked execution: equivalence, sizing, misuse guards."""
+
+import numpy as np
+import pytest
+
+from repro.channels import NoiseModel, depolarizing, two_qubit_depolarizing
+from repro.circuits import Circuit
+from repro.devices import Device, DeviceMesh
+from repro.errors import CapacityError, ExecutionError
+from repro.execution import (
+    BackendSpec,
+    BatchedExecutor,
+    Scheduler,
+    ShardedExecutor,
+    VALID_STRATEGIES,
+    VectorizedExecutor,
+    run_ptsbe,
+)
+from repro.pts import ProbabilisticPTS, TrajectorySpec, deduplicate_specs
+from repro.rng import make_rng
+from repro.trajectory.events import KrausEvent, TrajectoryRecord
+
+
+def _spec(tid, shots, events=(), p=0.5):
+    return TrajectorySpec(
+        record=TrajectoryRecord(trajectory_id=tid, events=tuple(events), nominal_probability=p),
+        num_shots=shots,
+    )
+
+
+def _event(site, kraus, qubits=(0,), p=0.05):
+    return KrausEvent(
+        site_id=site, kraus_index=kraus, qubits=qubits, channel_name="ch", probability=p
+    )
+
+
+def _pts_specs(circuit, pts_seed, nsamples=300, nshots=400):
+    return ProbabilisticPTS(nsamples=nsamples, nshots=nshots).sample(
+        circuit, make_rng(pts_seed)
+    ).specs
+
+
+@pytest.fixture(scope="module")
+def brickwork():
+    """The acceptance workload shape: layered CX brickwork with noise."""
+    circ = Circuit(6)
+    for layer in range(3):
+        for q in range(6):
+            circ.h(q) if layer % 2 == 0 else circ.t(q)
+        for q in range(layer % 2, 5, 2):
+            circ.cx(q, q + 1)
+    circ.measure_all()
+    model = (
+        NoiseModel()
+        .add_all_qubit_gate_noise("cx", two_qubit_depolarizing(0.02))
+        .add_all_qubit_gate_noise("h", depolarizing(0.01))
+    )
+    return model.apply(circ).freeze()
+
+
+class TestShardedEquivalence:
+    """Acceptance: bitwise-identical ShotTables for every device/max_batch."""
+
+    @pytest.mark.parametrize("num_devices", [1, 2, 3, 4])
+    @pytest.mark.parametrize("max_batch", [None, 1, 2])
+    def test_bitwise_identical_on_brickwork(self, brickwork, num_devices, max_batch):
+        specs = _pts_specs(brickwork, 7)
+        serial = BatchedExecutor().execute(brickwork, specs, seed=13)
+        vectorized = VectorizedExecutor().execute(brickwork, specs, seed=13)
+        sharded = ShardedExecutor(devices=num_devices, max_batch=max_batch).execute(
+            brickwork, specs, seed=13
+        )
+        for reference in (serial, vectorized):
+            a, b = reference.shot_table(), sharded.shot_table()
+            np.testing.assert_array_equal(a.bits, b.bits)
+            np.testing.assert_array_equal(a.trajectory_ids, b.trajectory_ids)
+        assert sharded.records == serial.records
+        np.testing.assert_allclose(
+            [t.actual_weight for t in sharded.trajectories],
+            [t.actual_weight for t in serial.trajectories],
+        )
+
+    def test_process_pool_matches_inline(self, noisy_ghz3):
+        specs = _pts_specs(noisy_ghz3, 3, nsamples=150, nshots=200)
+        inline = ShardedExecutor(devices=2).execute(noisy_ghz3, specs, seed=5)
+        pooled = ShardedExecutor(devices=2, num_workers=2).execute(
+            noisy_ghz3, specs, seed=5
+        )
+        np.testing.assert_array_equal(
+            inline.shot_table().bits, pooled.shot_table().bits
+        )
+        np.testing.assert_array_equal(
+            inline.shot_table().trajectory_ids, pooled.shot_table().trajectory_ids
+        )
+
+    def test_device_mesh_pool(self, noisy_ghz3):
+        specs = _pts_specs(noisy_ghz3, 4)
+        serial = BatchedExecutor().execute(noisy_ghz3, specs, seed=2)
+        sharded = ShardedExecutor(devices=DeviceMesh(4)).execute(
+            noisy_ghz3, specs, seed=2
+        )
+        np.testing.assert_array_equal(
+            serial.shot_table().bits, sharded.shot_table().bits
+        )
+
+    def test_round_robin_scheduler_also_bitwise(self, noisy_ghz3):
+        specs = _pts_specs(noisy_ghz3, 6)
+        serial = BatchedExecutor().execute(noisy_ghz3, specs, seed=8)
+        sharded = ShardedExecutor(
+            devices=3, scheduler=Scheduler("round_robin")
+        ).execute(noisy_ghz3, specs, seed=8)
+        np.testing.assert_array_equal(
+            serial.shot_table().bits, sharded.shot_table().bits
+        )
+
+
+class TestDedupAcrossShards:
+    def test_groups_never_split_and_prepared_once(self, noisy_ghz3):
+        specs = [
+            _spec(0, 30, [_event(0, 1)]),
+            _spec(1, 20, [_event(0, 1)]),
+            _spec(2, 10),
+            _spec(3, 40, [_event(1, 2, qubits=(0, 1))]),
+        ]
+        result = ShardedExecutor(devices=3).execute(noisy_ghz3, specs, seed=3)
+        assert result.unique_preparations == len(deduplicate_specs(specs))
+        assert [t.record.trajectory_id for t in result.trajectories] == [0, 1, 2, 3]
+        assert [t.num_shots for t in result.trajectories] == [30, 20, 10, 40]
+
+    def test_matches_vectorized_dedup_accounting(self, noisy_ghz3):
+        specs = _pts_specs(noisy_ghz3, 9)
+        vec = VectorizedExecutor().execute(noisy_ghz3, specs, seed=1)
+        sharded = ShardedExecutor(devices=2).execute(noisy_ghz3, specs, seed=1)
+        assert sharded.unique_preparations == vec.unique_preparations
+
+
+class TestPerDeviceSizing:
+    def test_memory_limited_device_still_bitwise(self, noisy_ghz3):
+        specs = _pts_specs(noisy_ghz3, 3)
+        serial = BatchedExecutor().execute(noisy_ghz3, specs, seed=6)
+        # Room for one complex128 row of a 3-qubit state after the 2x
+        # kernel-workspace headroom (256 // (2 * 128) == 1).
+        tiny = [Device(0, memory_bytes=2 * 8 * 16, name="tiny")]
+        sharded = ShardedExecutor(devices=tiny).execute(noisy_ghz3, specs, seed=6)
+        np.testing.assert_array_equal(
+            serial.shot_table().bits, sharded.shot_table().bits
+        )
+
+    def test_device_too_small_for_one_row(self, noisy_ghz3):
+        starved = [Device(0, memory_bytes=16, name="starved")]
+        with pytest.raises(CapacityError, match="starved"):
+            ShardedExecutor(devices=starved).execute(
+                noisy_ghz3, [_spec(0, 10)], seed=0
+            )
+
+    def test_heterogeneous_pool(self, noisy_ghz3):
+        specs = _pts_specs(noisy_ghz3, 5)
+        serial = BatchedExecutor().execute(noisy_ghz3, specs, seed=4)
+        pool = [
+            Device(0, memory_bytes=2 * 8 * 16, name="small"),
+            Device(1, memory_bytes=80 * 10**9, name="big"),
+        ]
+        sharded = ShardedExecutor(devices=pool).execute(noisy_ghz3, specs, seed=4)
+        np.testing.assert_array_equal(
+            serial.shot_table().bits, sharded.shot_table().bits
+        )
+
+
+class TestStrategyDispatch:
+    def test_run_ptsbe_sharded_strategy(self, noisy_ghz3):
+        sampler = ProbabilisticPTS(nsamples=120, nshots=150)
+        serial = run_ptsbe(noisy_ghz3, sampler, seed=9)
+        sharded = run_ptsbe(
+            noisy_ghz3, sampler, seed=9, strategy="sharded",
+            executor_kwargs={"devices": 3},
+        )
+        np.testing.assert_array_equal(
+            serial.shot_table().bits, sharded.shot_table().bits
+        )
+        assert sharded.unique_preparations is not None
+
+    def test_unknown_strategy_lists_valid_names(self, noisy_ghz3):
+        with pytest.raises(ExecutionError) as err:
+            run_ptsbe(
+                noisy_ghz3, ProbabilisticPTS(nsamples=10, nshots=10), strategy="gpu"
+            )
+        message = str(err.value)
+        for name in VALID_STRATEGIES:
+            assert repr(name) in message
+        assert "sharded" in message
+
+    def test_valid_strategies_constant(self):
+        assert set(VALID_STRATEGIES) == {
+            "auto", "serial", "parallel", "vectorized", "sharded",
+        }
+
+
+class TestGuards:
+    def test_rejects_nonpositive_devices(self):
+        with pytest.raises(ExecutionError):
+            ShardedExecutor(devices=0)
+        with pytest.raises(ExecutionError):
+            ShardedExecutor(devices=[])
+
+    def test_rejects_mps_backend(self):
+        with pytest.raises(ExecutionError):
+            ShardedExecutor(BackendSpec.mps(max_bond=8))
+
+    def test_rejects_bad_max_batch_and_workers(self):
+        with pytest.raises(ExecutionError):
+            ShardedExecutor(max_batch=0)
+        with pytest.raises(ExecutionError):
+            ShardedExecutor(num_workers=0)
+
+    def test_workers_require_picklable_backend(self):
+        from repro.backends.batched_statevector import BatchedStatevectorBackend
+
+        with pytest.raises(ExecutionError):
+            ShardedExecutor(
+                lambda n: BatchedStatevectorBackend(n), num_workers=2
+            )
+
+    def test_rejects_sample_kwargs(self):
+        with pytest.raises(ExecutionError):
+            ShardedExecutor(sample_kwargs={"cache": True})
+
+    def test_requires_specs_and_measurements(self, noisy_ghz3):
+        with pytest.raises(ExecutionError):
+            ShardedExecutor().execute(noisy_ghz3, [], seed=0)
+        with pytest.raises(ExecutionError):
+            ShardedExecutor().execute(Circuit(1).h(0).freeze(), [_spec(0, 1)], seed=0)
