@@ -1,0 +1,159 @@
+"""Diff two ``BENCH_*.json`` documents and flag throughput regressions.
+
+Closes the ROADMAP's "benchmark trend tracking" loop: every standalone
+benchmark main emits a schema-validated document (``benchmarks/_harness.py``),
+and this comparator turns two of them — a committed baseline and a fresh
+run — into a pass/fail signal:
+
+.. code-block:: bash
+
+    PYTHONPATH=src python benchmarks/bench_vectorized_executor.py --json fresh.json
+    PYTHONPATH=src python benchmarks/bench_compare.py \
+        benchmarks/baselines/BENCH_vectorized_executor.json fresh.json \
+        --threshold 0.15
+
+Rows are matched by every column except the metric (default
+``shots_per_second``, higher is better) and wall-time columns
+(``seconds``); a matched row regresses when ``current < (1 - threshold) *
+baseline``.  Exit status: 0 clean, 1 regression (or, with
+``--require-all``, baseline rows missing from the current document),
+2 usage/schema error.
+
+Absolute thresholds are machine-dependent — comparing numbers from
+different boxes needs a generous threshold (CI uses one as a smoke check
+against the committed laptop baseline), while same-machine trend tracking
+can afford 10-15%.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from _harness import validate_file
+
+#: Columns never used for row identity: the compared metric is excluded
+#: explicitly; these are excluded always (wall-time duplicates the metric).
+TIME_COLUMNS = ("seconds",)
+
+
+def row_key(row: Dict[str, Any], metric: str) -> Tuple:
+    """Identity of a row: every column except the metric and time columns."""
+    return tuple(
+        sorted((k, v) for k, v in row.items() if k != metric and k not in TIME_COLUMNS)
+    )
+
+
+def compare_payloads(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    metric: str = "shots_per_second",
+    threshold: float = 0.15,
+) -> Dict[str, List]:
+    """Match rows and classify each as ok / regressed / improved / missing.
+
+    Returns ``{"matched": [(key, base, cur, ratio, regressed)],
+    "missing": [key], "extra": [key], "skipped": [key]}`` — ``skipped``
+    are rows without the metric (some benchmarks mix row shapes).
+    """
+    if baseline["benchmark"] != current["benchmark"]:
+        raise ValueError(
+            f"benchmark mismatch: baseline is {baseline['benchmark']!r}, "
+            f"current is {current['benchmark']!r}"
+        )
+    base_rows: Dict[Tuple, float] = {}
+    skipped: List[Tuple] = []
+    for row in baseline["rows"]:
+        if metric not in row:
+            skipped.append(row_key(row, metric))
+            continue
+        base_rows[row_key(row, metric)] = float(row[metric])
+    matched: List[Tuple] = []
+    extra: List[Tuple] = []
+    for row in current["rows"]:
+        if metric not in row:
+            continue
+        key = row_key(row, metric)
+        base = base_rows.pop(key, None)
+        if base is None:
+            extra.append(key)
+            continue
+        cur = float(row[metric])
+        ratio = cur / base if base > 0 else float("inf")
+        regressed = cur < (1.0 - threshold) * base
+        matched.append((key, base, cur, ratio, regressed))
+    return {
+        "matched": matched,
+        "missing": sorted(base_rows),
+        "extra": extra,
+        "skipped": skipped,
+    }
+
+
+def format_key(key: Tuple) -> str:
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json documents; exit 1 on regression."
+    )
+    parser.add_argument("baseline", metavar="BASELINE.json")
+    parser.add_argument("current", metavar="CURRENT.json")
+    parser.add_argument(
+        "--metric",
+        default="shots_per_second",
+        help="row column to compare, higher is better (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed fractional drop before a row counts as regressed "
+        "(default: %(default)s, i.e. current >= 85%% of baseline passes)",
+    )
+    parser.add_argument(
+        "--require-all",
+        action="store_true",
+        help="also fail when baseline rows are missing from the current document",
+    )
+    args = parser.parse_args(argv)
+    if not (0.0 <= args.threshold < 1.0):
+        parser.error(f"--threshold must be in [0, 1), got {args.threshold}")
+    try:
+        baseline = validate_file(args.baseline)
+        current = validate_file(args.current)
+        report = compare_payloads(baseline, current, args.metric, args.threshold)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"benchmark {baseline['benchmark']!r}: {args.metric}, "
+        f"threshold {args.threshold:.0%} "
+        f"(baseline {baseline['array_module']}/py{baseline['python']}, "
+        f"current {current['array_module']}/py{current['python']})"
+    )
+    regressions = 0
+    for key, base, cur, ratio, regressed in report["matched"]:
+        status = "REGRESSED" if regressed else ("improved" if ratio > 1 else "ok")
+        print(f"  {status:>9}  {ratio:7.2%}  {base:12.4e} -> {cur:12.4e}  {format_key(key)}")
+        regressions += regressed
+    for key in report["missing"]:
+        print(f"  {'MISSING' if args.require_all else 'missing':>9}  baseline-only row: {format_key(key)}")
+    for key in report["extra"]:
+        print(f"  {'new':>9}  current-only row: {format_key(key)}")
+    if not report["matched"]:
+        print("error: no comparable rows", file=sys.stderr)
+        return 2
+    failed = regressions > 0 or (args.require_all and report["missing"])
+    print(
+        f"{len(report['matched'])} rows compared, {regressions} regressed, "
+        f"{len(report['missing'])} missing, {len(report['extra'])} new"
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,24 +5,29 @@ Where :class:`~repro.backends.statevector.StatevectorBackend` evolves one
 of trajectory states and applies every circuit moment to all ``B``
 trajectories in one fused operation:
 
-* **Shared gates** are one fused kernel call: the stack is exposed as a
-  reshape view with the target axes split out and a single ``einsum``
-  pass (:func:`~repro.linalg.apply.apply_matrix_stack`) updates every
-  trajectory at once.  The per-gate Python/dispatch overhead and buffer
-  traffic of the serial engine — its dominant cost at moderate widths —
-  is paid once per moment instead of once per (moment, trajectory).
+* **Shared work** is one fused kernel call: execution walks the circuit's
+  compiled :class:`~repro.execution.plan.FusedPlan` — adjacent gates (and
+  noise-branch operators) merged into per-window matrices when
+  ``Config.fusion`` is on, one step per operation when it is off — and
+  each coherent window updates every trajectory at once through a reshape
+  view of the stack (:func:`~repro.linalg.apply.apply_compiled_stack`).
+  The per-operation Python/dispatch overhead and buffer traffic of the
+  serial engine — its dominant cost at moderate widths — is paid once per
+  window instead of once per (operation, trajectory).
 * **Divergent Kraus choices** are handled by *grouping*: at each noise
-  site the stack rows are partitioned by their prescribed Kraus index
-  (sites absent from a trajectory's choices use the channel's dominant
-  operator, exactly like :meth:`PureStateBackend.run_fixed`), and each
-  distinct Kraus operator is applied via the same batched kernel over its
-  row sub-slice.  Since PTS trajectories overwhelmingly take the dominant
-  branch, there are typically only one or two groups per site.
-* **Per-row renormalization** after each noise site deliberately mirrors
-  the serial backend operation-for-operation (``vdot`` then scale), so a
-  stacked trajectory is *bitwise identical* to the same trajectory run on
-  :class:`StatevectorBackend` — the property the seed-fixed equivalence
-  tests in ``tests/test_vectorized.py`` assert.
+  window the stack rows are partitioned by their variant key — the tuple
+  of prescribed Kraus indices at the window's sites (absent sites use the
+  channel's dominant operator, exactly like
+  :meth:`PureStateBackend.run_fixed`) — and each distinct fused variant is
+  applied via the same batched kernel over its row sub-slice.  Since PTS
+  trajectories overwhelmingly take the dominant branch, there are
+  typically only one or two groups per window.
+* **Per-row renormalization** after each noise window deliberately mirrors
+  the serial backend operation-for-operation (``vdot`` then scale) on the
+  *same plan*, so a stacked trajectory is *bitwise identical* to the same
+  trajectory run on :class:`StatevectorBackend` — the property the
+  seed-fixed equivalence tests in ``tests/test_vectorized.py`` and
+  ``tests/test_fusion.py`` assert.
 
 Rows whose prescribed Kraus branch annihilates the actual state (possible
 for general, non-unitary-mixture channels whose nominal probabilities are
@@ -30,9 +35,12 @@ only priors) are marked *dead*: their weight drops to zero, the row is
 zeroed, and no shots are drawn — matching the serial engine's
 :class:`~repro.errors.ZeroProbabilityTrajectory` handling.
 
-Sampling stays the cheap polynomial part of the PTSBE story: each row
-keeps its own cached probability/cumulative vector and draws its full shot
-budget with one ``searchsorted`` over all shot uniforms at once.
+Sampling stays the cheap polynomial part of the PTSBE story: one
+stack-wide cumulative tensor (``|stack|**2`` normalized and cumsummed
+along the state axis, built on the array module in a single pass) serves
+every row, and each row draws its full shot budget with one row-wise
+``searchsorted`` over all shot uniforms at once — on a device module only
+the final shot indices cross back to host.
 
 The stack lives on the array module resolved from ``Config.array_module``
 (:mod:`repro.linalg.backend`): NumPy on host, CuPy on GPU when available.
@@ -50,10 +58,9 @@ import numpy as np
 
 from repro.backends.base import validate_deferred_measurement
 from repro.backends.statevector import bits_from_indices
-from repro.linalg.apply import apply_matrix_stack
+from repro.linalg.apply import apply_compiled_stack, apply_matrix_stack
 from repro.linalg.backend import get_array_backend
 from repro.circuits.circuit import Circuit
-from repro.circuits.operations import GateOp, NoiseOp
 from repro.config import Config, DEFAULT_CONFIG
 from repro.errors import BackendError, CapacityError, ExecutionError
 
@@ -108,7 +115,8 @@ class BatchedStatevectorBackend:
         self._stack = self._xp.empty((0, self._dim), dtype=config.dtype)
         self._alive: np.ndarray = np.empty(0, dtype=bool)
         self._probs_cache: Dict[int, np.ndarray] = {}
-        self._cumsum_cache: Dict[int, np.ndarray] = {}
+        self._cum_stack = None  # (B, dim) cumulative tensor on the array module
+        self._cum_totals: Optional[np.ndarray] = None  # host per-row norms
         self.preparations = 0  # total stacked trajectories prepared (dedup audit)
         self.reset(batch_size)
 
@@ -164,7 +172,8 @@ class BatchedStatevectorBackend:
 
     def _invalidate(self) -> None:
         self._probs_cache.clear()
-        self._cumsum_cache.clear()
+        self._cum_stack = None
+        self._cum_totals = None
 
     # ------------------------------------------------------------------ #
     # batched state evolution
@@ -246,7 +255,18 @@ class BatchedStatevectorBackend:
         the per-row product of actual branch probabilities, and a mask of
         rows whose prescribed branches were all realizable.  Dead rows
         have weight 0 and a zeroed state.
+
+        Execution walks the circuit's compiled
+        :class:`~repro.execution.plan.FusedPlan` — the same plan (same
+        fused matrices, application order, and renormalization points) the
+        serial :class:`StatevectorBackend` walks, which is what keeps
+        stacked rows bitwise identical to serial preparations with fusion
+        on or off.
         """
+        # Imported lazily: repro.execution imports this module at package
+        # init, so a top-level import would be circular.
+        from repro.execution.plan import NoiseStep, get_fused_plan
+
         if not circuit.frozen:
             raise ExecutionError("run_fixed_stack requires a frozen circuit")
         if circuit.num_qubits != self.num_qubits:
@@ -256,64 +276,62 @@ class BatchedStatevectorBackend:
         validate_deferred_measurement(circuit)
         if len(choices_list) == 0:
             raise ExecutionError("empty trajectory stack")
+        plan = get_fused_plan(circuit, self._config)
         self.reset(len(choices_list))
         weights = np.ones(len(choices_list), dtype=np.float64)
         self.preparations += len(choices_list)
-        for op in circuit:
-            if isinstance(op, GateOp):
-                self.apply_matrix(op.gate.matrix, op.qubits)
-            elif isinstance(op, NoiseOp):
-                self._apply_noise_site(op, choices_list, weights)
+        for step in plan.steps:
+            if isinstance(step, NoiseStep):
+                self._apply_noise_step(step, choices_list, weights)
+            else:
+                self._apply_compiled_full(step.op)
             # MeasureOps are deferred; sampling happens afterwards.
         return weights, self._alive.copy()
 
-    def _apply_noise_site(
+    def _apply_compiled_full(self, op) -> None:
+        """Apply a pre-compiled operator to the whole stack (no validation)."""
+        self._stack = apply_compiled_stack(
+            self._stack, op, self.num_qubits, xp=self._xp
+        )
+        self._invalidate()
+
+    def _apply_noise_step(
         self,
-        op: NoiseOp,
+        step,
         choices_list: Sequence[Optional[Dict[int, int]]],
         weights: np.ndarray,
     ) -> None:
-        """Group rows by Kraus index, apply each group, renormalize rows."""
-        channel = op.channel
-        dominant = channel.dominant_index()
-        groups: Dict[int, List[int]] = {}
+        """Group rows by variant key, apply each group, renormalize rows."""
+        groups: Dict[Tuple[int, ...], List[int]] = {}
         for row, choices in enumerate(choices_list):
             if not self._alive[row]:
                 continue
-            idx = dominant if not choices else choices.get(op.site_id, dominant)
-            if not (0 <= idx < len(channel)):
-                raise BackendError(
-                    f"kraus_index {idx} out of range for {channel.name!r} "
-                    f"({len(channel)} operators)"
-                )
-            groups.setdefault(idx, []).append(row)
+            groups.setdefault(step.key_for(choices), []).append(row)
         if len(groups) == 1:
-            # Unanimous branch choice: hit the whole stack in place (dead
-            # rows are zero and stay zero under any operator).
-            (idx,) = groups
-            self.apply_matrix(channel.kraus_ops[idx], op.qubits)
+            # Unanimous variant: hit the whole stack in place (dead rows
+            # are zero and stay zero under any operator).
+            (key,) = groups
+            self._apply_compiled_full(step.variant(key))
         elif groups:
-            # Apply the majority branch to the whole stack in place, then
-            # overwrite the (few) deviating rows from a pre-noise snapshot
+            # Apply the majority variant to the whole stack in place, then
+            # overwrite the (few) deviating rows from a pre-window snapshot
             # — this avoids gathering/scattering the large majority slice.
-            majority = max(groups, key=lambda idx: len(groups[idx]))
+            majority = max(groups, key=lambda key: len(groups[key]))
             minority_rows = {
-                idx: np.asarray(rows, dtype=np.intp)
-                for idx, rows in groups.items()
-                if idx != majority
+                key: np.asarray(rows, dtype=np.intp)
+                for key, rows in groups.items()
+                if key != majority
             }
             snapshots = {
-                idx: self._xp.ascontiguousarray(self._stack[rows])
-                for idx, rows in minority_rows.items()
+                key: self._xp.ascontiguousarray(self._stack[rows])
+                for key, rows in minority_rows.items()
             }
-            self.apply_matrix(channel.kraus_ops[majority], op.qubits)
-            for idx, rows in minority_rows.items():
-                self._stack[rows] = apply_matrix_stack(
-                    snapshots[idx],
-                    np.asarray(channel.kraus_ops[idx]),
-                    list(op.qubits),
+            self._apply_compiled_full(step.variant(majority))
+            for key, rows in minority_rows.items():
+                self._stack[rows] = apply_compiled_stack(
+                    snapshots[key],
+                    step.variant(key),
                     self.num_qubits,
-                    self._config.dtype,
                     xp=self._xp,
                 )
         # Per-row vdot is deliberate even though it costs one host sync per
@@ -363,26 +381,59 @@ class BatchedStatevectorBackend:
                 out[row] = self.probabilities(row)
         return out
 
-    def _cumulative(self, row: int) -> np.ndarray:
-        cached = self._cumsum_cache.get(row)
-        if cached is None:
-            cached = np.cumsum(self.probabilities(row))
+    def cumulative_stack(self):
+        """The ``(batch, 2**n)`` cumulative-probability tensor, stack-wide.
+
+        Built in one pass on the array module — ``|stack|**2``, per-row
+        normalization, ``cumsum`` along the state axis, tail clamped to
+        1.0 so ``searchsorted`` never falls off the end — replacing the
+        old per-row Python loop.  The per-row arithmetic (element-wise
+        square/divide, then a row-independent cumulative sum) matches the
+        serial backend's per-state path exactly, so sampling stays bitwise
+        identical to :class:`StatevectorBackend`.  Dead (zero-norm) rows
+        come out all-zero with only the clamped tail entry at 1.0 — never
+        a valid distribution — so sampling guards on the per-row norm and
+        raises before such a row could be drawn from.
+
+        The tensor stays on the array module (device-resident under
+        CuPy); only final shot indices are transferred to host.
+        """
+        if self._cum_stack is None:
+            xp = self._xp
+            probs = xp.abs(self._stack) ** 2
+            totals = probs.sum(axis=1, keepdims=True)
+            self._cum_totals = self._ab.to_host(totals).reshape(-1).astype(
+                np.float64, copy=False
+            )
+            safe = xp.where(totals > 0, totals, xp.asarray(1.0, dtype=totals.dtype))
+            cum = xp.cumsum(
+                (probs / safe).astype(np.float64, copy=False), axis=1
+            )
             # Clamp the tail so searchsorted never falls off the end.
-            cached[-1] = 1.0
-            self._cumsum_cache[row] = cached
-        return cached
+            cum[:, -1] = 1.0
+            self._cum_stack = cum
+        return self._cum_stack
 
     def sample_indices(
         self, row: int, num_shots: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Bulk-sample basis-state indices from one stacked trajectory."""
+        """Bulk-sample basis-state indices from one stacked trajectory.
+
+        Uniforms always come from the host ``rng`` (the
+        ``(seed, trajectory_id)`` determinism contract); the row-wise
+        ``searchsorted`` runs wherever the cumulative tensor lives, and
+        only the resulting shot indices cross back to host.
+        """
         if num_shots < 0:
             raise BackendError("num_shots must be >= 0")
         if num_shots == 0:
             return np.empty(0, dtype=np.int64)
-        cum = self._cumulative(row)
+        cum = self.cumulative_stack()
+        if self._cum_totals[row] <= 0:
+            raise BackendError(f"stack row {row} has zero norm (dead trajectory)")
         r = rng.random(num_shots)
-        return np.searchsorted(cum, r, side="right").astype(np.int64)
+        indices = self._xp.searchsorted(cum[row], self._xp.asarray(r), side="right")
+        return self._ab.to_host(indices).astype(np.int64, copy=False)
 
     def sample(
         self,

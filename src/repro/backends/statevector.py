@@ -32,10 +32,15 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.backends.base import PureStateBackend
+from repro.backends.base import PureStateBackend, validate_deferred_measurement
 from repro.config import Config, DEFAULT_CONFIG
-from repro.errors import BackendError, CapacityError
-from repro.linalg.apply import apply_matrix_stack
+from repro.errors import (
+    BackendError,
+    CapacityError,
+    ExecutionError,
+    ZeroProbabilityTrajectory,
+)
+from repro.linalg.apply import apply_compiled_stack, apply_matrix_stack
 from repro.linalg.backend import get_array_backend
 
 __all__ = ["StatevectorBackend", "bits_from_indices"]
@@ -157,6 +162,56 @@ class StatevectorBackend(PureStateBackend):
         self._state = out.reshape(-1)
         self._invalidate()
 
+    def _apply_compiled(self, op) -> None:
+        """Apply a pre-compiled operator, skipping per-call validation."""
+        out = apply_compiled_stack(
+            self._state.reshape(1, -1), op, self.num_qubits, xp=self._xp
+        )
+        self._state = out.reshape(-1)
+        self._invalidate()
+
+    def run_fixed(self, circuit, kraus_choices=None) -> float:
+        """Plan-compiled trajectory preparation (fused when enabled).
+
+        Overrides :meth:`PureStateBackend.run_fixed` to walk the circuit's
+        :class:`~repro.execution.plan.FusedPlan` instead of its raw
+        operation list: gate windows are single fused kernel passes, and
+        each noise window applies the variant realizing this trajectory's
+        Kraus choices, then renormalizes and multiplies the window's
+        squared norm into the weight — the same telescoping product of
+        branch probabilities the per-site base loop accumulates.  With
+        ``Config.fusion="off"`` the plan is one step per operation and the
+        arithmetic is identical to the base implementation.
+        """
+        # Imported lazily: repro.execution imports this module at package
+        # init, so a top-level import would be circular.
+        from repro.execution.plan import GateStep, get_fused_plan
+
+        if not circuit.frozen:
+            raise ExecutionError("run_fixed requires a frozen circuit")
+        if circuit.num_qubits > self.num_qubits:
+            raise BackendError(
+                f"circuit has {circuit.num_qubits} qubits, backend has {self.num_qubits}"
+            )
+        validate_deferred_measurement(circuit)
+        plan = get_fused_plan(circuit, self._config)
+        choices = kraus_choices or {}
+        self.reset()
+        weight = 1.0
+        for step in plan.steps:
+            if isinstance(step, GateStep):
+                self._apply_compiled(step.op)
+            else:
+                self._apply_compiled(step.variant(step.key_for(choices)))
+                norm2 = self.norm_squared()
+                if norm2 <= 1e-300:
+                    raise ZeroProbabilityTrajectory(
+                        f"Kraus window at sites {step.site_ids} annihilates the state"
+                    )
+                self.renormalize()
+                weight *= norm2
+        return weight
+
     def norm_squared(self) -> float:
         return float(self._xp.real(self._xp.vdot(self._state, self._state)))
 
@@ -213,22 +268,44 @@ class StatevectorBackend(PureStateBackend):
             )
         return self._probs_cache
 
-    def _cumulative(self) -> np.ndarray:
+    def _cumulative(self):
+        """Cached cumulative distribution, resident on the array module.
+
+        The arithmetic (element-wise square/divide, cumulative sum, tail
+        clamp) deliberately mirrors
+        :meth:`BatchedStatevectorBackend.cumulative_stack` row for row —
+        both run on the *same* module, so serial and stacked sampling stay
+        bitwise identical whether the state lives on NumPy or CuPy (a
+        host-side cumsum here against a device-side prefix scan there
+        could disagree in the last ulp).
+        """
         if self._cumsum_cache is None:
-            self._cumsum_cache = np.cumsum(self.probabilities())
+            xp = self._xp
+            probs = xp.abs(self._state) ** 2
+            total = probs.sum()
+            if float(total) <= 0:
+                raise BackendError("state has zero norm")
+            cum = xp.cumsum((probs / total).astype(np.float64, copy=False))
             # Clamp the tail so searchsorted never falls off the end.
-            self._cumsum_cache[-1] = 1.0
+            cum[-1] = 1.0
+            self._cumsum_cache = cum
         return self._cumsum_cache
 
     def sample_indices(self, num_shots: int, rng: np.random.Generator) -> np.ndarray:
-        """Vectorized bulk sampling of basis-state indices (host NumPy)."""
+        """Vectorized bulk sampling of basis-state indices.
+
+        Uniforms always come from the host ``rng`` (the determinism
+        contract); ``searchsorted`` runs wherever the cumulative vector
+        lives and only the shot indices cross back to host.
+        """
         if num_shots < 0:
             raise BackendError("num_shots must be >= 0")
         if num_shots == 0:
             return np.empty(0, dtype=np.int64)
         cum = self._cumulative()
         r = rng.random(num_shots)
-        return np.searchsorted(cum, r, side="right").astype(np.int64)
+        indices = self._xp.searchsorted(cum, self._xp.asarray(r), side="right")
+        return self._ab.to_host(indices).astype(np.int64, copy=False)
 
     def sample(
         self, num_shots: int, qubits: Sequence[int], rng: np.random.Generator

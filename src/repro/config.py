@@ -12,7 +12,8 @@ convenience, and :func:`configure` mutates it in a controlled way.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,6 +22,16 @@ ATOL = 1e-9
 
 #: Looser tolerance for accumulated floating-point drift across deep circuits.
 RTOL = 1e-7
+
+
+def _default_fusion() -> str:
+    """Fusion default: the ``REPRO_FUSION`` env var, else ``"auto"``.
+
+    The environment hook exists for CI matrix legs (a full test run with
+    ``REPRO_FUSION=off`` asserts the unfused paths stay healthy) — library
+    code should set ``Config.fusion`` explicitly instead.
+    """
+    return os.environ.get("REPRO_FUSION", "auto")
 
 
 @dataclass
@@ -38,6 +49,23 @@ class Config:
         importable, NumPy otherwise).  Resolved by
         :func:`repro.linalg.backend.get_array_backend`; sampling and
         ``ShotTable`` construction stay NumPy-on-host regardless.
+    fusion:
+        Gate/noise kernel fusion for the dense statevector strategies:
+        ``"auto"`` (default — fuse adjacent operations into per-window
+        matrices, see :mod:`repro.execution.plan`) or ``"off"`` (one
+        kernel pass per circuit operation, the pre-fusion behavior).
+        Both modes keep serial/vectorized/sharded execution bitwise
+        identical to each other; fused and unfused runs agree on
+        probabilities to floating-point accuracy but not bit for bit.
+        Overridable via the ``REPRO_FUSION`` environment variable (read
+        at :class:`Config` construction; used by the CI fusion-off leg).
+    fusion_max_qubits:
+        Largest qubit support of one fused window (default 3).  Windows
+        of 1–2 qubits run on the reshape-view fast path of the gate
+        kernel; wider ones use the generic batched-GEMM path, which on
+        the brickwork benchmarks still wins (4 measures faster yet —
+        fewer windows, hence fewer renormalization sweeps — at the price
+        of ``2**k x 2**k`` fused matrices per Kraus variant).
     atol:
         Absolute tolerance for verification checks.
     max_dense_qubits:
@@ -54,6 +82,8 @@ class Config:
 
     dtype: np.dtype = np.dtype(np.complex128)
     array_module: str = "auto"
+    fusion: str = field(default_factory=_default_fusion)
+    fusion_max_qubits: int = 3
     atol: float = ATOL
     max_dense_qubits: int = 26
     max_density_qubits: int = 12

@@ -24,6 +24,12 @@ from repro.execution.batched import (
     run_ptsbe,
     VALID_STRATEGIES,
 )
+from repro.execution.plan import (
+    FusedPlan,
+    build_fused_plan,
+    clear_plan_cache,
+    get_fused_plan,
+)
 from repro.execution.scheduler import Scheduler, round_robin, greedy_by_cost
 from repro.execution.parallel import ParallelExecutor
 from repro.execution.vectorized import VectorizedExecutor
@@ -37,6 +43,10 @@ __all__ = [
     "BatchedExecutor",
     "run_ptsbe",
     "VALID_STRATEGIES",
+    "FusedPlan",
+    "build_fused_plan",
+    "clear_plan_cache",
+    "get_fused_plan",
     "Scheduler",
     "round_robin",
     "greedy_by_cost",

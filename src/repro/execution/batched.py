@@ -13,8 +13,12 @@ Contrast with :class:`~repro.trajectory.baseline.TrajectorySimulator`,
 which re-runs step 1 for every single shot, and with
 :class:`~repro.execution.vectorized.VectorizedExecutor`, which prepares
 whole *stacks* of trajectories per pass instead of looping specs in
-Python.  The executor records prep and sample wall-times separately so
-the benchmarks can report the paper's shots-per-second curves directly.
+Python.  Dense preparations walk the circuit's compiled
+:class:`~repro.execution.plan.FusedPlan` (shared with the stacked
+backends, so the strategies stay bitwise interchangeable under any
+``Config.fusion`` setting).  The executor records prep and sample
+wall-times separately so the benchmarks can report the paper's
+shots-per-second curves directly.
 """
 
 from __future__ import annotations
@@ -45,10 +49,16 @@ class BackendSpec:
     (the trajectory-stacked backend used by
     :class:`~repro.execution.vectorized.VectorizedExecutor`); ``options``
     are forwarded to the constructor (e.g. ``{"max_bond": 32}``).
+
+    ``options`` is stored as a sorted tuple of ``(key, value)`` pairs so
+    the spec stays picklable and deterministic; the spec is hashable only
+    when every option value is (a ``config=Config(...)`` option, being a
+    mutable dataclass, is not — keep such specs out of hash-keyed
+    containers).
     """
 
     kind: str = "statevector"
-    options: tuple = ()  # tuple of (key, value) pairs for hashability
+    options: tuple = ()  # sorted (key, value) pairs; see class docstring
 
     @classmethod
     def statevector(cls, **options) -> "BackendSpec":
@@ -259,7 +269,10 @@ def run_ptsbe(
         ``seed``; shot tables also match row for row for specs in
         ascending trajectory-id order (what every PTS algorithm emits —
         ``"parallel"`` orders results by trajectory id, the others by
-        spec position).
+        spec position).  All dense strategies execute through the same
+        compiled :class:`~repro.execution.plan.FusedPlan`, so the
+        cross-strategy guarantee holds with gate/noise fusion on
+        (``Config.fusion="auto"``, the default) or off.
     executor_kwargs:
         Extra constructor arguments for the chosen executor, e.g.
         ``{"num_workers": 4}`` for ``"parallel"``, ``{"max_batch": 32}``

@@ -14,7 +14,9 @@ process trivially scales to arbitrarily many GPUs", §3):
    shot budget), so skewed shot budgets still balance;
 3. **Stack within each device** — every shard runs as chunked
    ``(B, 2**n)`` stacks via the
-   :class:`~repro.execution.vectorized.VectorizedExecutor` machinery,
+   :class:`~repro.execution.vectorized.VectorizedExecutor` machinery —
+   including its compiled :class:`~repro.execution.plan.FusedPlan`
+   (resolved once per process; every chunk of every shard reuses it) —
    with the chunk row count sized *per device* from its memory capacity
    (:func:`~repro.devices.memory.statevector_bytes`) on top of the global
    dense budget and any user ``max_batch``.

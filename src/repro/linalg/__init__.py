@@ -7,6 +7,17 @@ from repro.linalg.backend import (
     cupy_available,
     get_array_backend,
 )
+from repro.linalg.apply import (
+    CompiledOperator,
+    apply_compiled_stack,
+    apply_matrix_stack,
+    compile_operator,
+)
+from repro.linalg.fusion import (
+    expand_to_support,
+    fuse_window_matrix,
+    window_support,
+)
 from repro.linalg.kron import (
     embed_operator,
     kron_all,
@@ -27,6 +38,13 @@ __all__ = [
     "as_host",
     "cupy_available",
     "get_array_backend",
+    "CompiledOperator",
+    "apply_compiled_stack",
+    "apply_matrix_stack",
+    "compile_operator",
+    "expand_to_support",
+    "fuse_window_matrix",
+    "window_support",
     "embed_operator",
     "kron_all",
     "permute_operator_qubits",

@@ -7,7 +7,21 @@ The hot path of both :class:`~repro.backends.statevector.StatevectorBackend`
 two backends *bitwise identical* per trajectory — the equivalence contract
 of the vectorized execution path — while giving both the same speed.
 
-For 1- and 2-qubit operators (every gate and channel in the library) the
+The kernel is split in two phases so the fusion compilation pipeline
+(:mod:`repro.execution.plan`) can amortize the host-side analysis:
+
+* :func:`compile_operator` inspects a ``(2**k, 2**k)`` matrix **once** on
+  host — canonicalizing 2-qubit target order, casting to the state dtype,
+  and detecting the fast-path tier — and returns a reusable
+  :class:`CompiledOperator`;
+* :func:`apply_compiled_stack` applies a compiled operator to a stack with
+  zero per-call analysis.
+
+:func:`apply_matrix_stack` (the historical one-shot entry point) is simply
+``apply_compiled_stack(stack, compile_operator(...), ...)``.
+
+For 1- and 2-qubit operators (every gate and channel in the library, and
+every fused window under the default ``Config.fusion_max_qubits = 2``) the
 target axes are exposed by pure ``reshape`` views of the C-contiguous
 stack — qubit ``q`` is axis ``q+1`` of ``(rows, 2, ..., 2)`` under the
 library's qubit-0-is-MSB convention, so splitting at the target qubits
@@ -16,8 +30,9 @@ never copies.  Three tiers, cheapest first:
 * **scalar multiples of identity** (e.g. the dominant Kraus operator of
   any Pauli or depolarizing channel) mutate the stack in one in-place
   pass — or none at all for an exact identity;
-* **diagonal operators** (T, S, RZ, CZ, phase-type Kraus terms) scale
-  each basis slice in place;
+* **diagonal operators** (T, S, RZ, CZ, phase-type Kraus terms — and any
+  fused product of such operators, which stays diagonal) scale each basis
+  slice in place;
 * **dense operators** run one slice accumulation
   ``out_i = sum_j m[i, j] * psi_j`` into a fresh buffer, skipping zero
   entries — permutation-like operators (X, CX) reduce to slice copies.
@@ -37,13 +52,114 @@ one device synchronization per element.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.linalg.backend import as_host
 
-__all__ = ["apply_matrix_stack"]
+__all__ = [
+    "CompiledOperator",
+    "compile_operator",
+    "apply_compiled_stack",
+    "apply_matrix_stack",
+]
+
+
+class CompiledOperator:
+    """One host-analyzed ``(2**k, 2**k)`` operator, ready for stacks.
+
+    Attributes
+    ----------
+    matrix:
+        Host matrix, cast to the state dtype.  For 2-qubit operators with
+        descending targets the bit order is pre-canonicalized so
+        ``targets`` is always ascending on the fast paths.
+    targets:
+        The (canonicalized) target qubits the matrix acts on.
+    diag:
+        The matrix diagonal when the operator is diagonal (the fast-path
+        tier), else ``None``.
+    scalar:
+        The single scale factor when the operator is a scalar multiple of
+        the identity (the cheapest tier), else ``None``.
+    """
+
+    __slots__ = ("matrix", "targets", "diag", "scalar", "num_targets", "_on_module")
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        targets: Tuple[int, ...],
+        diag: Optional[np.ndarray],
+        scalar: Optional[complex],
+    ):
+        self.matrix = matrix
+        self.targets = targets
+        self.diag = diag
+        self.scalar = scalar
+        self.num_targets = len(targets)
+        self._on_module = None  # (xp, device array) memo for the GEMM path
+
+    def matrix_on(self, xp: Any) -> Any:
+        """The matrix on array module ``xp`` (transferred once, memoized).
+
+        Only the generic k>=3 GEMM path consumes the matrix as a device
+        array; the reshape-view tiers read host entries element-wise.
+        Compiled operators are long-lived plan members, so paying the
+        host-to-device copy per application would undo the amortization
+        compiling exists for.
+        """
+        memo = self._on_module
+        if memo is None or memo[0] is not xp:
+            memo = (xp, xp.asarray(self.matrix))
+            self._on_module = memo
+        return memo[1]
+
+    @property
+    def tier(self) -> str:
+        """Fast-path tier: ``"identity"``/``"scalar"``/``"diagonal"``/``"dense"``."""
+        if self.scalar is not None:
+            return "identity" if self.scalar == 1 else "scalar"
+        return "diagonal" if self.diag is not None else "dense"
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledOperator(targets={self.targets}, tier={self.tier!r}, "
+            f"dtype={self.matrix.dtype})"
+        )
+
+
+def compile_operator(
+    matrix: Any, targets: Sequence[int], dtype: np.dtype
+) -> CompiledOperator:
+    """Analyze a matrix once: cast, canonicalize targets, detect the tier.
+
+    ``matrix`` may live on host or device; it is inspected on host either
+    way.  The tier analysis mirrors what :func:`apply_matrix_stack` has
+    always done per call — compiling simply hoists it so plan-driven
+    callers (:mod:`repro.execution.plan`) pay it once per distinct
+    operator instead of once per application.
+    """
+    targets = tuple(targets)
+    k = len(targets)
+    m = as_host(matrix).astype(dtype, copy=False)
+    if k == 2 and targets[0] > targets[1]:
+        # Targets were given high-to-low: swap the matrix bit order so the
+        # reshape-view kernel always sees ascending targets.
+        m = np.ascontiguousarray(
+            m.reshape(2, 2, 2, 2).transpose(1, 0, 3, 2).reshape(4, 4)
+        )
+        targets = (targets[1], targets[0])
+    diag: Optional[np.ndarray] = None
+    scalar: Optional[complex] = None
+    if k <= 2:
+        d = np.diagonal(m)
+        if np.count_nonzero(m) == np.count_nonzero(d):
+            diag = d
+            if np.all(d == d[0]):
+                scalar = d[0]
+    return CompiledOperator(m, targets, diag, scalar)
 
 
 def _accumulate_slices(
@@ -83,6 +199,58 @@ def _scale_slices_inplace(slices: List[Any], diag: np.ndarray) -> None:
             s *= d
 
 
+def apply_compiled_stack(
+    stack: Any, op: CompiledOperator, num_qubits: int, xp: Optional[Any] = None
+) -> Any:
+    """Apply a :class:`CompiledOperator` to every row of a stack.
+
+    Same contract as :func:`apply_matrix_stack` minus the per-call
+    analysis: ``stack`` is a C-contiguous ``(rows, 2**num_qubits)`` array
+    owned by the caller; scalar/diagonal operators mutate it in place and
+    return it, dense operators return a fresh array on the same module.
+    No renormalization is performed.
+    """
+    if xp is None:
+        xp = np
+    rows, dim = stack.shape
+    k = op.num_targets
+    if op.scalar is not None:
+        # Scalar multiple of identity: one pass (or none).  Only compiled
+        # for k <= 2 operators (wider windows always take the GEMM path).
+        if op.scalar != 1:
+            stack *= op.scalar
+        return stack
+    if k == 1:
+        t = op.targets[0]
+        view = stack.reshape(rows * (1 << t), 2, -1)
+        in_slices = [view[:, 0], view[:, 1]]
+        if op.diag is not None:
+            _scale_slices_inplace(in_slices, op.diag)
+            return stack
+        out = xp.empty_like(view)
+        _accumulate_slices([out[:, 0], out[:, 1]], in_slices, op.matrix, xp)
+        return out.reshape(rows, dim)
+    if k == 2:
+        t1, t2 = op.targets  # ascending after compilation
+        view = stack.reshape(rows * (1 << t1), 2, 1 << (t2 - t1 - 1), 2, -1)
+        in_slices = [view[:, j, :, l] for j in range(2) for l in range(2)]
+        if op.diag is not None:
+            _scale_slices_inplace(in_slices, op.diag)
+            return stack
+        out = xp.empty_like(view)
+        out_slices = [out[:, j, :, l] for j in range(2) for l in range(2)]
+        _accumulate_slices(out_slices, in_slices, op.matrix, xp)
+        return out.reshape(rows, dim)
+    # Generic k-qubit fallback: move target axes up front, one batched GEMM.
+    psi = stack.reshape((rows,) + (2,) * num_qubits)
+    psi = xp.moveaxis(psi, [t + 1 for t in op.targets], range(1, k + 1))
+    shape_after = psi.shape
+    psi = xp.ascontiguousarray(psi).reshape(rows, 2**k, -1)
+    out = xp.matmul(op.matrix_on(xp), psi).reshape(shape_after)
+    out = xp.moveaxis(out, range(1, k + 1), [t + 1 for t in op.targets])
+    return xp.ascontiguousarray(out).reshape(rows, dim)
+
+
 def apply_matrix_stack(
     stack: Any,
     matrix: Any,
@@ -93,60 +261,15 @@ def apply_matrix_stack(
 ) -> Any:
     """Apply a ``(2**k, 2**k)`` matrix to ``targets`` of every stack row.
 
-    ``stack`` must be a C-contiguous ``(rows, 2**num_qubits)`` array on
-    the ``xp`` array module (host NumPy when ``xp`` is omitted) and is
-    treated as owned by the caller: diagonal operators mutate it in place
-    and return it, dense operators return a fresh array on the same
-    module.  ``matrix`` may live on host or device; it is inspected on
-    host either way.  No renormalization is performed.
+    One-shot convenience over :func:`compile_operator` +
+    :func:`apply_compiled_stack`.  ``stack`` must be a C-contiguous
+    ``(rows, 2**num_qubits)`` array on the ``xp`` array module (host NumPy
+    when ``xp`` is omitted) and is treated as owned by the caller:
+    diagonal operators mutate it in place and return it, dense operators
+    return a fresh array on the same module.  ``matrix`` may live on host
+    or device; it is inspected on host either way.  No renormalization is
+    performed.
     """
-    if xp is None:
-        xp = np
-    rows, dim = stack.shape
-    k = len(targets)
-    m = as_host(matrix).astype(dtype, copy=False)
-    dim_k = 2**k
-    if k <= 2:
-        diag = np.diagonal(m)
-        if np.count_nonzero(m) == np.count_nonzero(diag):
-            if np.all(diag == diag[0]):
-                # Scalar multiple of identity: one pass (or none).
-                if diag[0] != 1:
-                    stack *= diag[0]
-                return stack
-        else:
-            diag = None
-    if k == 1:
-        t = targets[0]
-        view = stack.reshape(rows * (1 << t), 2, -1)
-        in_slices = [view[:, 0], view[:, 1]]
-        if diag is not None:
-            _scale_slices_inplace(in_slices, diag)
-            return stack
-        out = xp.empty_like(view)
-        _accumulate_slices([out[:, 0], out[:, 1]], in_slices, m, xp)
-        return out.reshape(rows, dim)
-    if k == 2:
-        (t1, p1), (t2, _) = sorted(zip(targets, range(2)))
-        m4 = m.reshape(2, 2, 2, 2)
-        if p1 == 1:
-            # targets were given high-to-low: swap the matrix bit order.
-            m4 = m4.transpose(1, 0, 3, 2)
-        m = np.ascontiguousarray(m4.reshape(4, 4))
-        view = stack.reshape(rows * (1 << t1), 2, 1 << (t2 - t1 - 1), 2, -1)
-        in_slices = [view[:, j, :, l] for j in range(2) for l in range(2)]
-        if diag is not None:
-            _scale_slices_inplace(in_slices, np.diagonal(m))
-            return stack
-        out = xp.empty_like(view)
-        out_slices = [out[:, j, :, l] for j in range(2) for l in range(2)]
-        _accumulate_slices(out_slices, in_slices, m, xp)
-        return out.reshape(rows, dim)
-    # Generic k-qubit fallback: move target axes up front, one batched GEMM.
-    psi = stack.reshape((rows,) + (2,) * num_qubits)
-    psi = xp.moveaxis(psi, [t + 1 for t in targets], range(1, k + 1))
-    shape_after = psi.shape
-    psi = xp.ascontiguousarray(psi).reshape(rows, 2**k, -1)
-    out = xp.matmul(xp.asarray(m), psi).reshape(shape_after)
-    out = xp.moveaxis(out, range(1, k + 1), [t + 1 for t in targets])
-    return xp.ascontiguousarray(out).reshape(rows, dim)
+    return apply_compiled_stack(
+        stack, compile_operator(matrix, targets, dtype), num_qubits, xp
+    )
