@@ -14,8 +14,9 @@ run — into a pass/fail signal:
 
 Rows are matched by every column except the metric (default
 ``shots_per_second``, higher is better) and wall-time columns
-(``seconds``); a matched row regresses when ``current < (1 - threshold) *
-baseline``.  Exit status: 0 clean, 1 regression (or, with
+(``seconds``, ``first_chunk_seconds`` — so documents written before the
+streaming column existed still compare cleanly); a matched row regresses
+when ``current < (1 - threshold) * baseline``.  Exit status: 0 clean, 1 regression (or, with
 ``--require-all``, baseline rows missing from the current document),
 2 usage/schema error.
 
@@ -34,8 +35,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from _harness import validate_file
 
 #: Columns never used for row identity: the compared metric is excluded
-#: explicitly; these are excluded always (wall-time duplicates the metric).
-TIME_COLUMNS = ("seconds",)
+#: explicitly; these are excluded always (wall-time duplicates the metric,
+#: and time-to-first-chunk is a newer column older baselines lack — keeping
+#: it out of identity lets a fresh run still match a committed baseline).
+TIME_COLUMNS = ("seconds", "first_chunk_seconds")
 
 
 def row_key(row: Dict[str, Any], metric: str) -> Tuple:

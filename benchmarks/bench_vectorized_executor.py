@@ -15,6 +15,12 @@ noise-branch operators merged into per-window matrices, see
 per-window renormalization sweeps — the ``fusion`` column compares it
 against the unfused ``"off"`` plan on the same strategy.
 
+The ``1st chunk`` column is the streaming-delivery headline: seconds until
+``execute_stream`` hands its first ``ShotChunk`` to the consumer, versus
+the ``seconds`` column's full materialized run — the latency a streaming
+decoder-training loop (``run_ptsbe_stream``) saves before its first
+mini-batch.
+
 Run under pytest-benchmark:
 
     PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_executor.py -q
@@ -115,8 +121,25 @@ def test_vectorized_executor(benchmark, workload, num_traj):
     )
 
 
+def _time_to_first_chunk(executor, workload, specs) -> float:
+    """Seconds until a streamed run delivers its first ShotChunk.
+
+    The streaming-delivery headline number: a decoder-training consumer
+    sees its first shots after this long, versus the full-run wall time
+    for the materialized path.  The stream is abandoned right after the
+    first chunk (cleanup included in the run, not in the measurement).
+    """
+    t0 = time.perf_counter()
+    stream = executor.execute_stream(workload, specs, seed=0)
+    try:
+        next(stream)
+        return time.perf_counter() - t0
+    finally:
+        stream.close()
+
+
 def _strategy_rows(workload, num_traj, include_parallel=False, include_sharded=False):
-    """(strategy, fusion, shots/s, seconds) rows for one trajectory count."""
+    """(strategy, fusion, shots/s, seconds, first-chunk seconds) rows."""
     specs = _distinct_specs(workload, num_traj)
     executors = [
         ("serial", "auto", BatchedExecutor(BackendSpec.statevector(config=FUSION_AUTO))),
@@ -161,7 +184,10 @@ def _strategy_rows(workload, num_traj, include_parallel=False, include_sharded=F
             t0 = time.perf_counter()
             executor.execute(workload, specs, seed=0)
             best = min(best, time.perf_counter() - t0)
-        rows.append((name, fusion, total_shots / best, best))
+        first_chunk = min(
+            _time_to_first_chunk(executor, workload, specs) for _ in range(3)
+        )
+        rows.append((name, fusion, total_shots / best, best, first_chunk))
     return rows
 
 
@@ -174,10 +200,16 @@ def test_strategy_report(benchmark, workload):
 
     table = benchmark.pedantic(series, rounds=1, iterations=1)
     lines = ["", f"strategies on {NUM_QUBITS}-qubit brickwork, {SHOTS_PER_TRAJECTORY} shots/trajectory"]
-    lines.append(f"{'trajectories':>12} {'strategy':>11} {'fusion':>6} {'shots/s':>12} {'seconds':>9}")
+    lines.append(
+        f"{'trajectories':>12} {'strategy':>11} {'fusion':>6} {'shots/s':>12} "
+        f"{'seconds':>9} {'1st chunk':>10}"
+    )
     for num_traj, rows in table.items():
-        for name, fusion, rate, seconds in rows:
-            lines.append(f"{num_traj:>12d} {name:>11} {fusion:>6} {rate:>12.3e} {seconds:>9.4f}")
+        for name, fusion, rate, seconds, first_chunk in rows:
+            lines.append(
+                f"{num_traj:>12d} {name:>11} {fusion:>6} {rate:>12.3e} "
+                f"{seconds:>9.4f} {first_chunk:>10.4f}"
+            )
     report = "\n".join(lines)
     print(report)
     benchmark.extra_info["report"] = report
@@ -185,7 +217,17 @@ def test_strategy_report(benchmark, workload):
     # share the moment structure.  Gate on the large counts, where the
     # ~1.5x margin is robust to a noisy runner; B=8 is report-only.
     for num_traj in (32, 64):
-        rates = {(name, fusion): rate for name, fusion, rate, _ in table[num_traj]}
+        rates = {(name, fusion): rate for name, fusion, rate, *_ in table[num_traj]}
+        # Streaming: the serial stream hands over its first trajectory
+        # after ~1/num_traj of the run — assert it beats the full-run
+        # latency by a wide margin (the time-to-first-chunk contract).
+        for name, fusion, _, seconds, first_chunk in table[num_traj]:
+            if name == "serial":
+                assert first_chunk < seconds / 2, (
+                    f"first streamed chunk ({first_chunk:.4f}s) should be well "
+                    f"under the materialized {name} run ({seconds:.4f}s) at "
+                    f"{num_traj} trajectories"
+                )
         assert rates[("vectorized", "auto")] > rates[("serial", "auto")], (
             f"vectorized ({rates[('vectorized', 'auto')]:.3e} shots/s) should beat "
             f"serial ({rates[('serial', 'auto')]:.3e} shots/s) at {num_traj} trajectories"
@@ -205,9 +247,14 @@ if __name__ == "__main__":
     args = make_parser(__doc__.splitlines()[0]).parse_args()
     circuit = _brickwork_circuit()
     print(f"workload: {circuit}")
-    print(f"{'trajectories':>12} {'strategy':>11} {'fusion':>6} {'shots/s':>12} {'seconds':>9}")
+    print(
+        f"{'trajectories':>12} {'strategy':>11} {'fusion':>6} {'shots/s':>12} "
+        f"{'seconds':>9} {'1st chunk':>10}"
+    )
     json_rows = []
     fusion_rates = {}
+    first_chunks = {}
+    full_runs = {}
     for num_traj in TRAJECTORY_COUNTS:
         rows = _strategy_rows(
             circuit,
@@ -215,9 +262,14 @@ if __name__ == "__main__":
             include_parallel=(num_traj >= 8),
             include_sharded=(num_traj >= 8),
         )
-        for name, fusion, rate, seconds in rows:
-            print(f"{num_traj:>12d} {name:>11} {fusion:>6} {rate:>12.3e} {seconds:>9.4f}")
+        for name, fusion, rate, seconds, first_chunk in rows:
+            print(
+                f"{num_traj:>12d} {name:>11} {fusion:>6} {rate:>12.3e} "
+                f"{seconds:>9.4f} {first_chunk:>10.4f}"
+            )
             fusion_rates[(num_traj, name, fusion)] = rate
+            first_chunks[(num_traj, name, fusion)] = first_chunk
+            full_runs[(num_traj, name, fusion)] = seconds
             json_rows.append(
                 {
                     "trajectories": num_traj,
@@ -225,6 +277,7 @@ if __name__ == "__main__":
                     "fusion": fusion,
                     "shots_per_second": rate,
                     "seconds": seconds,
+                    "first_chunk_seconds": first_chunk,
                 }
             )
     largest = TRAJECTORY_COUNTS[-1]
@@ -232,6 +285,12 @@ if __name__ == "__main__":
         (largest, "vectorized", "off")
     ]
     print(f"fusion speedup (vectorized, B={largest}): {speedup:.2f}x (target >= 1.5x)")
+    ttfc = first_chunks[(largest, "serial", "auto")]
+    full = full_runs[(largest, "serial", "auto")]
+    print(
+        f"time to first streamed chunk (serial, B={largest}): {ttfc:.4f}s vs "
+        f"{full:.4f}s materialized ({full / ttfc:.0f}x earlier delivery)"
+    )
     if args.json:
         write_json(
             args.json,

@@ -1,7 +1,9 @@
 """AI-decoder training data: the paper's headline application (§2.3).
 
-Pipeline: Steane-code memory experiment -> PTSBE with provenance labels
--> LabeledShotDataset -> train a tiny logistic-regression decoder (pure
+Pipeline: Steane-code memory experiment -> *streamed* PTSBE with
+provenance labels (`run_ptsbe_stream` + `iter_decoder_batches`: training
+mini-batches arrive while the run is still executing) ->
+LabeledShotDataset -> train a tiny logistic-regression decoder (pure
 NumPy) on syndrome->logical-flip pairs -> compare against the classical
 lookup decoder.
 
@@ -18,9 +20,9 @@ import numpy as np
 from repro import depolarizing
 from repro.circuits import Circuit
 from repro.circuits.operations import GateOp
-from repro.data.dataset import build_decoder_dataset
+from repro.data.dataset import build_decoder_dataset, iter_decoder_batches
 from repro.data.io import save_dataset
-from repro.execution import run_ptsbe
+from repro.execution import run_ptsbe_stream
 from repro.pts import ProportionalPTS
 from repro.qec import LookupDecoder, steane_code, syndrome_extraction_circuit
 from repro.rng import make_rng
@@ -62,8 +64,23 @@ def main() -> None:
     code, circuit, layout = build_experiment(p_data=0.08)
     print(f"experiment: {circuit.num_qubits} qubits, {circuit.num_noise_sites()} noise sites")
 
-    result = run_ptsbe(circuit, ProportionalPTS(total_shots=40_000, nsamples=4000), seed=3)
-    dataset = build_decoder_dataset(result, circuit, code, layout)
+    # Streamed collection: mini-batches become available as each
+    # trajectory completes — an online learner would partial_fit here
+    # instead of accumulating.  Concatenating the batches reproduces the
+    # materialized dataset bitwise (see docs/architecture.md, "Streaming
+    # delivery").
+    stream = run_ptsbe_stream(
+        circuit, ProportionalPTS(total_shots=40_000, nsamples=4000), seed=3
+    )
+    batches = []
+    for i, (features, labels, _tids) in enumerate(
+        iter_decoder_batches(stream, circuit, code, layout)
+    ):
+        batches.append((features, labels))
+        if i == 0:
+            print(f"first mini-batch: {features.shape[0]} shots (run still going)")
+    print(f"streamed {len(batches)} mini-batches, replay seed {stream.seed}")
+    dataset = build_decoder_dataset(stream.finalize(), circuit, code, layout)
     print(f"dataset: {dataset} | class balance: {dataset.class_balance()}")
     save_dataset(dataset, "/tmp/steane_decoder_dataset.npz")
     print("saved to /tmp/steane_decoder_dataset.npz")

@@ -77,9 +77,12 @@ from repro.execution import (
     ParallelExecutor,
     PTSBEResult,
     ShardedExecutor,
+    ShotChunk,
     ShotTable,
+    StreamedResult,
     VectorizedExecutor,
     run_ptsbe,
+    run_ptsbe_stream,
 )
 
 __all__ = [
@@ -141,5 +144,8 @@ __all__ = [
     "ShardedExecutor",
     "PTSBEResult",
     "ShotTable",
+    "ShotChunk",
+    "StreamedResult",
     "run_ptsbe",
+    "run_ptsbe_stream",
 ]

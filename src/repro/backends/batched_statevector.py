@@ -170,6 +170,24 @@ class BatchedStatevectorBackend:
         """
         return self._stack[row]
 
+    def release(self) -> None:
+        """Drop the stack and every sampling cache (device buffers too).
+
+        The stack-completion boundary for streaming consumers: when a
+        :class:`~repro.execution.streaming.StreamedResult` is abandoned
+        mid-run, the executor calls this so the ``(B, 2**n)`` stack and
+        the stack-wide cumulative tensor do not outlive the stream — on a
+        CuPy module that is the difference between freeing device memory
+        now and holding it until garbage collection.  Idempotent.  The
+        backend stays usable, but the stack is gone: reallocate with an
+        explicit size — ``reset(batch_size)`` or :meth:`run_fixed_stack`
+        (an argument-less ``reset()`` has no previous size to restore and
+        raises).
+        """
+        self._stack = self._xp.empty((0, self._dim), dtype=self._config.dtype)
+        self._alive = np.empty(0, dtype=bool)
+        self._invalidate()
+
     def _invalidate(self) -> None:
         self._probs_cache.clear()
         self._cum_stack = None

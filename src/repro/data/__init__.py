@@ -9,7 +9,11 @@ provides the distribution statistics the evaluation figures use
 (total-variation distance, unique-shot fraction, chi-square tests).
 """
 
-from repro.data.dataset import LabeledShotDataset, build_decoder_dataset
+from repro.data.dataset import (
+    LabeledShotDataset,
+    build_decoder_dataset,
+    iter_decoder_batches,
+)
 from repro.data.io import load_dataset, save_dataset
 from repro.data.stats import (
     chi_square_statistic,
@@ -22,6 +26,7 @@ from repro.data.stats import (
 __all__ = [
     "LabeledShotDataset",
     "build_decoder_dataset",
+    "iter_decoder_batches",
     "save_dataset",
     "load_dataset",
     "total_variation_distance",

@@ -9,13 +9,20 @@ impossible for hardware data (§2.3).
 :func:`build_decoder_dataset` specializes a PTSBE run on a
 syndrome-extraction circuit into the standard decoder-training format:
 ``X = syndrome bits``, ``y = logical-frame flip`` computed from each
-trajectory's injected Pauli errors.
+trajectory's injected Pauli errors.  It accepts either a materialized
+:class:`~repro.execution.results.PTSBEResult` or a live
+:class:`~repro.execution.streaming.StreamedResult`, and
+:func:`iter_decoder_batches` exposes the streaming form directly:
+``(features, labels, trajectory_ids)`` mini-batches emitted as each
+execution chunk completes, so an incremental learner
+(``partial_fit``-style) trains while the tail of the run is still
+preparing states.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,11 +30,12 @@ from repro.circuits.circuit import Circuit
 from repro.circuits.operations import GateOp, NoiseOp
 from repro.errors import DataError
 from repro.execution.results import PTSBEResult
+from repro.execution.streaming import StreamedResult
 from repro.qec.codes import CSSCode
 from repro.qec.syndrome import SyndromeLayout
 from repro.trajectory.events import TrajectoryRecord
 
-__all__ = ["LabeledShotDataset", "build_decoder_dataset"]
+__all__ = ["LabeledShotDataset", "build_decoder_dataset", "iter_decoder_batches"]
 
 
 @dataclass
@@ -136,8 +144,45 @@ def _logical_flip_label(
     return int(np.dot(x_support, lz) % 2)
 
 
+def iter_decoder_batches(
+    stream: StreamedResult,
+    circuit: Circuit,
+    code: CSSCode,
+    layout: SyndromeLayout,
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield ``(features, labels, trajectory_ids)`` per streamed chunk.
+
+    The incremental companion of :func:`build_decoder_dataset`: each
+    :class:`~repro.execution.streaming.ShotChunk` the executor delivers
+    becomes one training mini-batch the moment it completes, so decoder
+    training starts while the run's remaining stacks/shards are still
+    executing.  Per-trajectory labels are memoized across chunks (a
+    trajectory's label never changes), and concatenating every batch in
+    order reproduces exactly what :func:`build_decoder_dataset` builds
+    from the materialized result.
+
+    Chunks with zero shots (all-dead trajectories) are skipped — they
+    contribute no training rows.
+    """
+    syndrome_bits = layout.syndrome_bit_count()
+    label_of: Dict[int, int] = {}
+    for chunk in stream:
+        for record in chunk.records:
+            if record.trajectory_id not in label_of:
+                label_of[record.trajectory_id] = _logical_flip_label(
+                    record, circuit, code
+                )
+        if chunk.num_shots == 0:
+            continue
+        table = chunk.shot_table()
+        labels = np.empty(table.num_shots, dtype=np.int64)
+        for i, tid in enumerate(table.trajectory_ids):
+            labels[i] = label_of[int(tid)]
+        yield table.bits[:, :syndrome_bits], labels, table.trajectory_ids
+
+
 def build_decoder_dataset(
-    result: PTSBEResult,
+    result: Union[PTSBEResult, StreamedResult],
     circuit: Circuit,
     code: CSSCode,
     layout: SyndromeLayout,
@@ -146,7 +191,62 @@ def build_decoder_dataset(
 
     Features: the shot's syndrome bits (all rounds).  Labels: the logical
     Z-frame flip implied by the trajectory's provenance record.
+
+    ``result`` may be a materialized
+    :class:`~repro.execution.results.PTSBEResult` or a live
+    :class:`~repro.execution.streaming.StreamedResult` (from
+    :func:`~repro.execution.batched.run_ptsbe_stream`); the streamed form
+    is consumed incrementally via :func:`iter_decoder_batches` — labels
+    are computed chunk by chunk as the run progresses — and assembles the
+    identical dataset.
     """
+    if isinstance(result, StreamedResult):
+        if result.delivered_trajectories:
+            # Chunks consumed before this call would be silently missing
+            # from the dataset while records/metadata claim the full run.
+            raise DataError(
+                "stream was already partially consumed "
+                f"({result.delivered_trajectories} trajectories); pass a fresh "
+                "StreamedResult, or finalize() it and pass the PTSBEResult"
+            )
+        feature_batches: List[np.ndarray] = []
+        label_batches: List[np.ndarray] = []
+        id_batches: List[np.ndarray] = []
+        records: Dict[int, TrajectoryRecord] = {}
+        num_trajectories = 0
+        for features, labels, tids in iter_decoder_batches(
+            result, circuit, code, layout
+        ):
+            feature_batches.append(features)
+            label_batches.append(labels)
+            id_batches.append(tids)
+        for trajectory in result.finalize().trajectories:
+            records[trajectory.record.trajectory_id] = trajectory.record
+            num_trajectories += 1
+        width = layout.syndrome_bit_count()
+        return LabeledShotDataset(
+            features=(
+                np.concatenate(feature_batches)
+                if feature_batches
+                else np.empty((0, width), dtype=np.uint8)
+            ),
+            labels=(
+                np.concatenate(label_batches)
+                if label_batches
+                else np.empty(0, dtype=np.int64)
+            ),
+            trajectory_ids=(
+                np.concatenate(id_batches)
+                if id_batches
+                else np.empty(0, dtype=np.int64)
+            ),
+            records=records,
+            metadata={
+                "code": code.name,
+                "rounds": str(layout.rounds),
+                "num_trajectories": str(num_trajectories),
+            },
+        )
     syndrome_bits = layout.syndrome_bit_count()
     table = result.shot_table()
     features = table.bits[:, :syndrome_bits]

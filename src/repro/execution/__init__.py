@@ -10,18 +10,25 @@ optionally fans them out over worker processes — the paper's
 (:mod:`repro.execution.vectorized`), or composes both axes by sharding
 dedup groups across a device pool with stacked chunks per shard
 (:mod:`repro.execution.sharded`).  Results carry per-shot provenance
-(:mod:`repro.execution.results`).  Every strategy draws identical
-per-trajectory shots for a fixed seed; for specs in ascending
+(:mod:`repro.execution.results`) and can be delivered incrementally —
+every strategy exposes ``execute_stream`` yielding per-trajectory
+:class:`~repro.execution.streaming.ShotChunk`\\ s as specs / stacks /
+shards complete (:mod:`repro.execution.streaming`,
+:func:`~repro.execution.batched.run_ptsbe_stream`).  Every strategy draws
+identical per-trajectory shots for a fixed seed; for specs in ascending
 trajectory-id order (what every PTS algorithm emits) the shot tables
-match row for row as well.  See ``docs/architecture.md`` for when to
-pick which.
+match row for row as well — and an unseeded run resolves one recorded
+root seed up front, so it replays exactly too.  See
+``docs/architecture.md`` for when to pick which.
 """
 
 from repro.execution.results import ShotTable, TrajectoryResult, PTSBEResult
+from repro.execution.streaming import ShotChunk, StreamedResult
 from repro.execution.batched import (
     BackendSpec,
     BatchedExecutor,
     run_ptsbe,
+    run_ptsbe_stream,
     VALID_STRATEGIES,
 )
 from repro.execution.plan import (
@@ -39,9 +46,12 @@ __all__ = [
     "ShotTable",
     "TrajectoryResult",
     "PTSBEResult",
+    "ShotChunk",
+    "StreamedResult",
     "BackendSpec",
     "BatchedExecutor",
     "run_ptsbe",
+    "run_ptsbe_stream",
     "VALID_STRATEGIES",
     "FusedPlan",
     "build_fused_plan",

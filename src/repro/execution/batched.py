@@ -35,10 +35,17 @@ from repro.backends.statevector import StatevectorBackend
 from repro.circuits.circuit import Circuit
 from repro.errors import ExecutionError, ZeroProbabilityTrajectory
 from repro.execution.results import PTSBEResult, TrajectoryResult
+from repro.execution.streaming import StreamedResult
 from repro.pts.base import PTSAlgorithm, PTSResult, TrajectorySpec
 from repro.rng import StreamFactory
 
-__all__ = ["BackendSpec", "BatchedExecutor", "run_ptsbe", "VALID_STRATEGIES"]
+__all__ = [
+    "BackendSpec",
+    "BatchedExecutor",
+    "run_ptsbe",
+    "run_ptsbe_stream",
+    "VALID_STRATEGIES",
+]
 
 
 @dataclass(frozen=True)
@@ -117,6 +124,22 @@ class BatchedExecutor:
         seed: Optional[int] = None,
     ) -> PTSBEResult:
         """Run every spec: one preparation, one bulk sample each."""
+        return self.execute_stream(circuit, specs, seed=seed).finalize()
+
+    def execute_stream(
+        self,
+        circuit: Circuit,
+        specs: Sequence[TrajectorySpec],
+        seed: Optional[int] = None,
+    ) -> StreamedResult:
+        """Stream one :class:`ShotChunk` per spec, in spec order.
+
+        The finest-grained delivery of any strategy: each trajectory is
+        handed over the moment its bulk sample completes, so a consumer
+        sees the first shots after a single state preparation.
+        :meth:`StreamedResult.finalize` reproduces :meth:`execute`
+        bitwise.
+        """
         circuit.freeze()
         measured = tuple(circuit.measured_qubits)
         if not measured:
@@ -125,49 +148,49 @@ class BatchedExecutor:
             raise ExecutionError("no trajectory specs to execute")
         streams = StreamFactory(seed)
         backend = self._make_backend(circuit.num_qubits)
-        results: List[TrajectoryResult] = []
-        total_prep = 0.0
-        total_sample = 0.0
-        for spec in specs:
-            rng = streams.rng_for(spec.record.trajectory_id)
-            t0 = time.perf_counter()
-            try:
-                weight = backend.run_fixed(circuit, spec.choices)
-            except ZeroProbabilityTrajectory:
-                # The prescribed combination is impossible for the actual
-                # state (nominal probabilities are only priors for general
-                # channels): record it with zero weight and zero shots.
+
+        def deliver():
+            for spec in specs:
+                rng = streams.rng_for(spec.record.trajectory_id)
+                t0 = time.perf_counter()
+                try:
+                    weight = backend.run_fixed(circuit, spec.choices)
+                except ZeroProbabilityTrajectory:
+                    # The prescribed combination is impossible for the
+                    # actual state (nominal probabilities are only priors
+                    # for general channels): record it with zero weight
+                    # and zero shots.
+                    t1 = time.perf_counter()
+                    yield [
+                        TrajectoryResult(
+                            record=spec.record,
+                            bits=np.empty((0, len(measured)), dtype=np.uint8),
+                            actual_weight=0.0,
+                            prep_seconds=t1 - t0,
+                            sample_seconds=0.0,
+                        )
+                    ]
+                    continue
                 t1 = time.perf_counter()
-                results.append(
+                bits = backend.sample(
+                    spec.num_shots, measured, rng, **self.sample_kwargs
+                )
+                t2 = time.perf_counter()
+                yield [
                     TrajectoryResult(
                         record=spec.record,
-                        bits=np.empty((0, len(measured)), dtype=np.uint8),
-                        actual_weight=0.0,
+                        bits=bits,
+                        actual_weight=weight,
                         prep_seconds=t1 - t0,
-                        sample_seconds=0.0,
+                        sample_seconds=t2 - t1,
                     )
-                )
-                total_prep += t1 - t0
-                continue
-            t1 = time.perf_counter()
-            bits = backend.sample(spec.num_shots, measured, rng, **self.sample_kwargs)
-            t2 = time.perf_counter()
-            results.append(
-                TrajectoryResult(
-                    record=spec.record,
-                    bits=bits,
-                    actual_weight=weight,
-                    prep_seconds=t1 - t0,
-                    sample_seconds=t2 - t1,
-                )
-            )
-            total_prep += t1 - t0
-            total_sample += t2 - t1
-        return PTSBEResult(
-            trajectories=results,
+                ]
+
+        return StreamedResult(
+            deliver(),
             measured_qubits=measured,
-            prep_seconds=total_prep,
-            sample_seconds=total_sample,
+            seed=streams.seed,
+            total_trajectories=len(specs),
         )
 
 
@@ -273,6 +296,12 @@ def run_ptsbe(
         compiled :class:`~repro.execution.plan.FusedPlan`, so the
         cross-strategy guarantee holds with gate/noise fusion on
         (``Config.fusion="auto"``, the default) or off.
+
+        The guarantee covers unseeded runs too: ``seed=None`` is resolved
+        to **one** concrete root seed before anything draws from it — the
+        PTS sampler and the executor share that same seed — and the
+        resolved value is recorded as ``result.seed``, so any run can be
+        replayed bitwise with ``run_ptsbe(..., seed=result.seed)``.
     executor_kwargs:
         Extra constructor arguments for the chosen executor, e.g.
         ``{"num_workers": 4}`` for ``"parallel"``, ``{"max_batch": 32}``
@@ -286,10 +315,59 @@ def run_ptsbe(
     ...           executor_kwargs={"max_batch": 32}, seed=7)  # doctest: +SKIP
     >>> run_ptsbe(noisy, sampler, BackendSpec.batched_statevector(),
     ...           seed=7)  # auto -> vectorized             # doctest: +SKIP
+    >>> replay = run_ptsbe(noisy, sampler, seed=result.seed)  # doctest: +SKIP
+    """
+    return run_ptsbe_stream(
+        circuit,
+        sampler,
+        backend=backend,
+        seed=seed,
+        sample_kwargs=sample_kwargs,
+        strategy=strategy,
+        executor_kwargs=executor_kwargs,
+    ).finalize()
+
+
+def run_ptsbe_stream(
+    circuit: Circuit,
+    sampler: PTSAlgorithm,
+    backend: Union[BackendSpec, Callable[[int], PureStateBackend]] = BackendSpec(),
+    seed: Optional[int] = None,
+    sample_kwargs: Optional[Dict] = None,
+    strategy: str = "auto",
+    executor_kwargs: Optional[Dict] = None,
+) -> StreamedResult:
+    """The PTSBE pipeline with streaming shot delivery.
+
+    Same parameters and determinism contract as :func:`run_ptsbe`, but
+    instead of materializing the full :class:`PTSBEResult` it returns a
+    :class:`~repro.execution.streaming.StreamedResult` immediately:
+    iterate it to receive :class:`~repro.execution.streaming.ShotChunk`\\ s
+    as each spec / stack / shard completes (in the exact order of the
+    materialized shot table, so concatenating the chunks reproduces it
+    bitwise), call ``finalize()`` to drain into the identical
+    :class:`PTSBEResult`, or ``close()`` to abandon the run cleanly.
+
+    ``seed=None`` is resolved to one concrete root seed *here*, before
+    the PTS sampler draws anything; the sampler and the chosen executor
+    both derive their streams from it and the stream records it as
+    ``stream.seed``, so unseeded streamed runs replay exactly like seeded
+    ones.
+
+    Example — decoder training that starts before the run finishes::
+
+        stream = run_ptsbe_stream(noisy, sampler, strategy="vectorized")
+        for chunk in stream:
+            model.partial_fit(chunk.shot_table().bits, ...)
     """
     circuit.freeze()
-    rng = StreamFactory(seed).rng_for(0)
+    # Resolve the root seed exactly once: the PTS sampler's stream and
+    # every executor trajectory stream derive from the same value, and an
+    # unseeded run resolves one entropy seed here instead of drawing two
+    # independent ones (the pre-fix reproducibility bug).
+    streams = StreamFactory(seed)
+    rng = streams.rng_for(0)
     pts_result = sampler.sample(circuit, rng)
     target = getattr(sampler, "twirled_circuit", None) or circuit
     executor = _make_executor(backend, strategy, sample_kwargs, executor_kwargs)
-    return executor.execute(target, pts_result.specs, seed=seed)
+    return executor.execute_stream(target, pts_result.specs, seed=streams.seed)

@@ -11,13 +11,21 @@ back.
 Determinism: every trajectory derives its RNG stream from
 ``(seed, trajectory_id)`` (see :mod:`repro.rng`), so a parallel run is
 shot-for-shot identical to the serial run regardless of the worker count
-or the schedule — verified in ``tests/test_parallel.py``.
+or the schedule — verified in ``tests/test_parallel.py``.  An unseeded run
+resolves one root seed *before* fan-out, so every worker derives from the
+same stream tree (and the resolved value is recorded on the result for
+exact replay).
+
+Streaming: :meth:`ParallelExecutor.execute_stream` hands worker slices
+over as they complete.  Completions arrive in pool order, so they pass
+through an :class:`~repro.execution.streaming.OrderedDelivery` buffer that
+re-establishes ascending-trajectory-id order — the same order
+:meth:`ParallelExecutor.execute` materializes — before chunks reach the
+consumer.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.circuit import Circuit
@@ -25,7 +33,9 @@ from repro.errors import ExecutionError
 from repro.execution.batched import BackendSpec, BatchedExecutor
 from repro.execution.results import PTSBEResult, TrajectoryResult
 from repro.execution.scheduler import Scheduler
+from repro.execution.streaming import OrderedDelivery, StreamedResult, stream_pool
 from repro.pts.base import TrajectorySpec
+from repro.rng import StreamFactory
 
 __all__ = ["ParallelExecutor"]
 
@@ -70,28 +80,65 @@ class ParallelExecutor:
         specs: Sequence[TrajectorySpec],
         seed: Optional[int] = None,
     ) -> PTSBEResult:
+        return self.execute_stream(circuit, specs, seed=seed).finalize()
+
+    def execute_stream(
+        self,
+        circuit: Circuit,
+        specs: Sequence[TrajectorySpec],
+        seed: Optional[int] = None,
+    ) -> StreamedResult:
+        """Stream worker slices as they complete, in trajectory-id order.
+
+        Each completed worker feeds the reorder buffer; a chunk is
+        released as soon as it extends the contiguous ascending-id prefix
+        (so the first chunk arrives when the worker holding the lowest
+        ids finishes, not when the whole pool drains).  Abandoning the
+        stream cancels unstarted worker slices and shuts the pool down.
+        """
         circuit.freeze()
+        measured = tuple(circuit.measured_qubits)
+        if not measured:
+            raise ExecutionError("circuit has no measurements to sample")
         if not specs:
             raise ExecutionError("no trajectory specs to execute")
+        streams = StreamFactory(seed)
         assignment = self.scheduler.assign(specs, self.num_workers)
+        chunks = [chunk for chunk in assignment.per_device if chunk]
         payloads = [
-            (circuit, self.backend, chunk, seed, self.sample_kwargs)
-            for chunk in assignment.per_device
-            if chunk
+            (circuit, self.backend, chunk, streams.seed, self.sample_kwargs)
+            for chunk in chunks
         ]
-        if len(payloads) == 1:
-            chunks = [_worker(payloads[0])]
-        else:
-            with ProcessPoolExecutor(max_workers=self.num_workers) as pool:
-                chunks = list(pool.map(_worker, payloads))
-        trajectories: List[TrajectoryResult] = []
-        for chunk in chunks:
-            trajectories.extend(chunk)
-        # Restore deterministic global order (scheduling permutes specs).
-        trajectories.sort(key=lambda t: t.record.trajectory_id)
-        return PTSBEResult(
-            trajectories=trajectories,
-            measured_qubits=tuple(circuit.measured_qubits),
-            prep_seconds=sum(t.prep_seconds for t in trajectories),
-            sample_seconds=sum(t.sample_seconds for t in trajectories),
+        # Materialized order is a stable sort of (worker, slot) flattening
+        # by trajectory id; precompute each slot's global position so the
+        # reorder buffer can release contiguous prefixes as workers finish.
+        flat = [
+            (spec.record.trajectory_id, w, j)
+            for w, chunk in enumerate(chunks)
+            for j, spec in enumerate(chunk)
+        ]
+        rank_of = {
+            (w, j): rank
+            for rank, (_, w, j) in enumerate(sorted(flat, key=lambda item: item[0]))
+        }
+
+        def tag_results(w, trajectories):
+            return [(rank_of[(w, j)], t) for j, t in enumerate(trajectories)]
+
+        def deliver():
+            delivery = OrderedDelivery(len(specs))
+            if len(payloads) == 1:
+                ready = delivery.add(tag_results(0, _worker(payloads[0])))
+                if ready:
+                    yield ready
+                return
+            yield from stream_pool(
+                payloads, _worker, delivery, self.num_workers, tag_results
+            )
+
+        return StreamedResult(
+            deliver(),
+            measured_qubits=measured,
+            seed=streams.seed,
+            total_trajectories=len(specs),
         )

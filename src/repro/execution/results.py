@@ -135,6 +135,12 @@ class PTSBEResult:
     #: the vectorized executor (which deduplicates identical specs); None
     #: for executors that prepare one state per spec unconditionally.
     unique_preparations: Optional[int] = None
+    #: The resolved root seed of the run.  Executors resolve ``seed=None``
+    #: to one concrete entropy seed up front and record it here, so *any*
+    #: run — seeded or not — can be replayed bitwise by passing this value
+    #: back as ``seed=``.  ``None`` only for results assembled outside the
+    #: execution layer.
+    seed: Optional[int] = None
 
     @property
     def num_trajectories(self) -> int:

@@ -36,11 +36,10 @@ same result ordering guarantees.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuits.circuit import Circuit
-from repro.config import DEFAULT_CONFIG
+from repro.config import Config, DEFAULT_CONFIG
 from repro.devices.device import Device, DeviceMesh
 from repro.devices.memory import statevector_bytes
 from repro.devices.perf_model import BackendTimings, PAPER_STATEVECTOR_TIMINGS
@@ -48,16 +47,27 @@ from repro.errors import CapacityError, ExecutionError
 from repro.execution.batched import BackendSpec
 from repro.execution.results import PTSBEResult, TrajectoryResult
 from repro.execution.scheduler import Scheduler
+from repro.execution.streaming import OrderedDelivery, StreamedResult, stream_pool
 from repro.execution.vectorized import VectorizedExecutor
 from repro.pts.base import SpecGroup, TrajectorySpec, deduplicate_specs
+from repro.rng import StreamFactory
 
 __all__ = ["ShardedExecutor"]
 
-#: Memory headroom per stacked row: the dense gate kernel writes into a
-#: fresh output buffer (``out = xp.empty_like(view)``), so peak usage is
-#: ~2x the resident ``(B, 2**n)`` stack.  Sizing chunks at half the
-#: device's capacity keeps the kernel's transient inside the budget.
-_WORKSPACE_FACTOR = 2
+#: Memory headroom per stacked row with only the reshape-view kernels in
+#: play (every window <= 2 qubits): dense operators write into a fresh
+#: output buffer (``out = xp.empty_like(view)``), so peak usage is ~2x
+#: the resident ``(B, 2**n)`` stack.
+_WORKSPACE_FACTOR_DENSE = 2
+
+#: Headroom once any operator can span >= 3 qubits — a fused window under
+#: ``fusion_max_qubits >= 3`` or a native wide gate (``ccx``): such
+#: operators take the moveaxis + batched-GEMM path in
+#: ``repro.linalg.apply``, whose peak holds the resident stack, the
+#: contiguous gathered input, *and* the GEMM output simultaneously — ~3x
+#: the stack, not 2x.  The pre-fusion factor of 2 under-provisioned
+#: exactly this transient.
+_WORKSPACE_FACTOR_GEMM = 3
 
 
 def _shard_worker(args) -> List[Tuple[int, TrajectoryResult]]:
@@ -166,24 +176,61 @@ class ShardedExecutor:
         """Perf-model cost of one dedup group: prepare once, sample merged."""
         return self.timings.prep_seconds + group.total_shots * self.timings.shot_seconds
 
-    def _state_dtype(self):
-        """Dtype used for per-device memory sizing."""
+    def _backend_config(self) -> Config:
+        """The :class:`Config` the shard backends will run under."""
         if isinstance(self.backend, BackendSpec):
             config = dict(self.backend.options).get("config")
             if config is not None:
-                return config.dtype
-        return DEFAULT_CONFIG.dtype
+                return config
+        return DEFAULT_CONFIG
 
-    def _device_chunk_rows(self, device: Device, num_qubits: int) -> int:
+    def _workspace_factor(self, circuit: Circuit) -> int:
+        """Per-row memory multiplier for chunk sizing.
+
+        Any operator on >= 3 qubits takes the moveaxis+GEMM kernel in
+        :mod:`repro.linalg.apply`, whose transient peaks at ~3x the
+        resident stack (stack + contiguous gathered input + GEMM output);
+        everything narrower runs the reshape-view kernels, whose only
+        transient is a fresh output buffer (~2x).  Wide operators come
+        from two sources: fused windows (possible whenever fusion is on
+        with ``fusion_max_qubits >= 3`` — the default config) and the
+        circuit's own native gates/channels (a ``ccx`` hits the GEMM path
+        with fusion off too), so both are inspected.
+        """
+        from repro.circuits.operations import GateOp, NoiseOp
+
+        config = self._backend_config()
+        # Only operators applied as matrices count — a MeasureOp may span
+        # every qubit but sampling never touches the GEMM kernel.
+        widest = max(
+            (
+                len(op.qubits)
+                for op in circuit
+                if isinstance(op, (GateOp, NoiseOp))
+            ),
+            default=1,
+        )
+        if config.fusion != "off":
+            # A fused window can never span more qubits than the circuit
+            # has — don't charge a 2-qubit circuit the GEMM headroom.
+            widest = max(widest, min(config.fusion_max_qubits, circuit.num_qubits))
+        if widest >= 3:
+            return _WORKSPACE_FACTOR_GEMM
+        return _WORKSPACE_FACTOR_DENSE
+
+    def _device_chunk_rows(self, device: Device, circuit: Circuit) -> int:
         """Largest stack chunk this device's memory can hold (with the
-        dense kernel's ~2x output-buffer workspace accounted for)."""
-        bytes_per_row = statevector_bytes(num_qubits, dtype=self._state_dtype())
-        rows = device.memory_bytes // (_WORKSPACE_FACTOR * bytes_per_row)
+        kernel's workspace transient accounted for — see
+        :meth:`_workspace_factor`)."""
+        num_qubits = circuit.num_qubits
+        factor = self._workspace_factor(circuit)
+        bytes_per_row = statevector_bytes(num_qubits, dtype=self._backend_config().dtype)
+        rows = device.memory_bytes // (factor * bytes_per_row)
         if rows < 1:
             raise CapacityError(
                 f"device {device.name!r} ({device.memory_bytes} bytes) cannot hold "
                 f"one 2**{num_qubits} statevector row plus kernel workspace "
-                f"({_WORKSPACE_FACTOR} x {bytes_per_row} bytes)"
+                f"({factor} x {bytes_per_row} bytes)"
             )
         if self.max_batch is not None:
             rows = min(rows, self.max_batch)
@@ -196,12 +243,29 @@ class ShardedExecutor:
         seed: Optional[int] = None,
     ) -> PTSBEResult:
         """Dedup once, shard groups over devices, stack within each shard."""
+        return self.execute_stream(circuit, specs, seed=seed).finalize()
+
+    def execute_stream(
+        self,
+        circuit: Circuit,
+        specs: Sequence[TrajectorySpec],
+        seed: Optional[int] = None,
+    ) -> StreamedResult:
+        """Stream each device shard's trajectories as the shard completes.
+
+        With ``num_workers > 1`` shards finish in pool order; either way
+        an :class:`~repro.execution.streaming.OrderedDelivery` buffer
+        releases chunks in spec order, so concatenated streamed tables
+        match :meth:`execute` bitwise.  Abandoning the stream cancels
+        unstarted shards and shuts the pool down.
+        """
         circuit.freeze()
         measured = tuple(circuit.measured_qubits)
         if not measured:
             raise ExecutionError("circuit has no measurements to sample")
         if not specs:
             raise ExecutionError("no trajectory specs to execute")
+        streams = StreamFactory(seed)
         groups = deduplicate_specs(specs)
         assignment = self.scheduler.assign(groups, len(self.devices))
         shards: List[Tuple[Device, List[Tuple[int, TrajectorySpec]]]] = []
@@ -217,24 +281,35 @@ class ShardedExecutor:
                 circuit,
                 self.backend,
                 indexed,
-                self._device_chunk_rows(device, circuit.num_qubits),
-                seed,
+                self._device_chunk_rows(device, circuit),
+                streams.seed,
             )
             for device, indexed in shards
         ]
-        if self.num_workers > 1 and len(payloads) > 1:
-            with ProcessPoolExecutor(max_workers=self.num_workers) as pool:
-                chunks = list(pool.map(_shard_worker, payloads))
-        else:
-            chunks = [_shard_worker(payload) for payload in payloads]
-        results: List[Optional[TrajectoryResult]] = [None] * len(specs)
-        for chunk in chunks:
-            for index, trajectory in chunk:
-                results[index] = trajectory
-        return PTSBEResult(
-            trajectories=results,
+
+        def deliver():
+            delivery = OrderedDelivery(len(specs))
+            if self.num_workers > 1 and len(payloads) > 1:
+                # Shard workers already tag results with global spec
+                # positions; the pool helper handles completion order and
+                # abandonment cleanup.
+                yield from stream_pool(
+                    payloads,
+                    _shard_worker,
+                    delivery,
+                    self.num_workers,
+                    lambda _index, indexed: indexed,
+                )
+            else:
+                for payload in payloads:
+                    ready = delivery.add(_shard_worker(payload))
+                    if ready:
+                        yield ready
+
+        return StreamedResult(
+            deliver(),
             measured_qubits=measured,
-            prep_seconds=sum(t.prep_seconds for t in results),
-            sample_seconds=sum(t.sample_seconds for t in results),
+            seed=streams.seed,
+            total_trajectories=len(specs),
             unique_preparations=len(groups),
         )

@@ -43,6 +43,7 @@ from repro.errors import ExecutionError
 from repro.execution.batched import BackendSpec
 from repro.execution.plan import get_fused_plan
 from repro.execution.results import PTSBEResult, TrajectoryResult
+from repro.execution.streaming import OrderedDelivery, StreamedResult
 from repro.pts.base import TrajectorySpec, deduplicate_specs
 from repro.rng import StreamFactory
 
@@ -113,6 +114,23 @@ class VectorizedExecutor:
         seed: Optional[int] = None,
     ) -> PTSBEResult:
         """Run every spec: deduplicated stacked preparation, bulk sampling."""
+        return self.execute_stream(circuit, specs, seed=seed).finalize()
+
+    def execute_stream(
+        self,
+        circuit: Circuit,
+        specs: Sequence[TrajectorySpec],
+        seed: Optional[int] = None,
+    ) -> StreamedResult:
+        """Stream each ``(B, 2**n)`` stack's trajectories as it completes.
+
+        Chunks are released in spec order (an
+        :class:`~repro.execution.streaming.OrderedDelivery` buffer holds
+        back specs whose dedup group lands in a later stack), so
+        concatenated streamed tables match :meth:`execute` bitwise.
+        Abandoning the stream releases the backend's stack and sampling
+        caches (device buffers under CuPy).
+        """
         circuit.freeze()
         measured = tuple(circuit.measured_qubits)
         if not measured:
@@ -129,45 +147,64 @@ class VectorizedExecutor:
             get_fused_plan(circuit, config)
         chunk_rows = min(self.max_batch, backend.max_batch_rows)
         groups = deduplicate_specs(specs)
-        results: List[Optional[TrajectoryResult]] = [None] * len(specs)
-        total_prep = 0.0
-        total_sample = 0.0
-        for start in range(0, len(groups), chunk_rows):
-            chunk = groups[start : start + chunk_rows]
-            choices_list = [specs[g.indices[0]].choices for g in chunk]
-            t0 = time.perf_counter()
-            weights, alive = backend.run_fixed_stack(circuit, choices_list)
-            t1 = time.perf_counter()
-            total_prep += t1 - t0
-            # One stacked preparation served the whole chunk; attribute its
-            # wall-time evenly across the unique rows (duplicates ride free).
-            prep_each = (t1 - t0) / len(chunk)
-            for row, group in enumerate(chunk):
-                for j, spec_index in enumerate(group.indices):
-                    spec = specs[spec_index]
-                    rng = streams.rng_for(spec.record.trajectory_id)
-                    if not alive[row]:
-                        # Same contract as the serial engine on a
-                        # ZeroProbabilityTrajectory: zero weight, no shots.
-                        bits = np.empty((0, len(measured)), dtype=np.uint8)
-                        weight, sample_s = 0.0, 0.0
-                    else:
-                        t2 = time.perf_counter()
-                        bits = backend.sample(row, spec.num_shots, measured, rng)
-                        t3 = time.perf_counter()
-                        weight, sample_s = float(weights[row]), t3 - t2
-                        total_sample += sample_s
-                    results[spec_index] = TrajectoryResult(
-                        record=spec.record,
-                        bits=bits,
-                        actual_weight=weight,
-                        prep_seconds=prep_each if j == 0 else 0.0,
-                        sample_seconds=sample_s,
-                    )
-        return PTSBEResult(
-            trajectories=results,
+
+        def deliver():
+            delivery = OrderedDelivery(len(specs))
+            try:
+                for start in range(0, len(groups), chunk_rows):
+                    chunk = groups[start : start + chunk_rows]
+                    choices_list = [specs[g.indices[0]].choices for g in chunk]
+                    t0 = time.perf_counter()
+                    weights, alive = backend.run_fixed_stack(circuit, choices_list)
+                    t1 = time.perf_counter()
+                    # One stacked preparation served the whole chunk;
+                    # attribute its wall-time evenly across the unique rows
+                    # (duplicates ride free).
+                    prep_each = (t1 - t0) / len(chunk)
+                    completed = []
+                    for row, group in enumerate(chunk):
+                        for j, spec_index in enumerate(group.indices):
+                            spec = specs[spec_index]
+                            rng = streams.rng_for(spec.record.trajectory_id)
+                            if not alive[row]:
+                                # Same contract as the serial engine on a
+                                # ZeroProbabilityTrajectory: zero weight,
+                                # no shots.
+                                bits = np.empty((0, len(measured)), dtype=np.uint8)
+                                weight, sample_s = 0.0, 0.0
+                            else:
+                                t2 = time.perf_counter()
+                                bits = backend.sample(row, spec.num_shots, measured, rng)
+                                t3 = time.perf_counter()
+                                weight, sample_s = float(weights[row]), t3 - t2
+                            completed.append(
+                                (
+                                    spec_index,
+                                    TrajectoryResult(
+                                        record=spec.record,
+                                        bits=bits,
+                                        actual_weight=weight,
+                                        prep_seconds=prep_each if j == 0 else 0.0,
+                                        sample_seconds=sample_s,
+                                    ),
+                                )
+                            )
+                    ready = delivery.add(completed)
+                    if ready:
+                        yield ready
+            finally:
+                release = getattr(backend, "release", None)
+                if release is not None:
+                    release()
+
+        return StreamedResult(
+            deliver(),
             measured_qubits=measured,
-            prep_seconds=total_prep,
-            sample_seconds=total_sample,
+            seed=streams.seed,
+            total_trajectories=len(specs),
             unique_preparations=len(groups),
+            # The backend is allocated eagerly (validation happens at call
+            # time); a close() before the first chunk never enters the
+            # generator, so its finally can't release — close() must.
+            on_close=getattr(backend, "release", None),
         )

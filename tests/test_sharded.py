@@ -138,9 +138,9 @@ class TestPerDeviceSizing:
     def test_memory_limited_device_still_bitwise(self, noisy_ghz3):
         specs = _pts_specs(noisy_ghz3, 3)
         serial = BatchedExecutor().execute(noisy_ghz3, specs, seed=6)
-        # Room for one complex128 row of a 3-qubit state after the 2x
-        # kernel-workspace headroom (256 // (2 * 128) == 1).
-        tiny = [Device(0, memory_bytes=2 * 8 * 16, name="tiny")]
+        # Room for one complex128 row of a 3-qubit state after the 3x
+        # fused-GEMM workspace headroom (384 // (3 * 128) == 1).
+        tiny = [Device(0, memory_bytes=3 * 8 * 16, name="tiny")]
         sharded = ShardedExecutor(devices=tiny).execute(noisy_ghz3, specs, seed=6)
         np.testing.assert_array_equal(
             serial.shot_table().bits, sharded.shot_table().bits
@@ -153,11 +153,97 @@ class TestPerDeviceSizing:
                 noisy_ghz3, [_spec(0, 10)], seed=0
             )
 
+    def test_workspace_accounts_for_fused_gemm_transient(self, noisy_ghz3):
+        """Regression: the pre-fusion 2x factor under-provisioned fused
+        k>=3 windows, whose moveaxis+GEMM path peaks at ~3x the stack."""
+        from repro.config import Config
+        from repro.devices.memory import statevector_bytes
+
+        bytes_per_row = statevector_bytes(3, dtype=np.complex128)
+        # Holds one row at the unfused 2x headroom, but not the fused 3x.
+        borderline = [Device(0, memory_bytes=2 * bytes_per_row, name="borderline")]
+        fused = ShardedExecutor(
+            BackendSpec.batched_statevector(
+                config=Config(fusion="auto", fusion_max_qubits=3)
+            ),
+            devices=borderline,
+        )
+        with pytest.raises(CapacityError, match="borderline"):
+            fused.execute(noisy_ghz3, [_spec(0, 10)], seed=0)
+        # With fusion off (or windows capped at 2 qubits) every kernel on
+        # this <=2-qubit workload is a reshape-view pass: the 2x budget
+        # suffices and the run succeeds.
+        for config in (Config(fusion="off"), Config(fusion="auto", fusion_max_qubits=2)):
+            unfused = ShardedExecutor(
+                BackendSpec.batched_statevector(config=config),
+                devices=borderline,
+            )
+            result = unfused.execute(noisy_ghz3, _pts_specs(noisy_ghz3, 3), seed=6)
+            assert result.total_shots > 0
+
+    def test_workspace_factor_clamped_to_circuit_width(self):
+        """A 2-qubit circuit can never produce a 3-qubit fused window, so
+        the default fused config must not charge it the GEMM headroom."""
+        from repro.config import Config
+        from repro.devices.memory import statevector_bytes
+
+        circ = Circuit(2).h(0).cx(0, 1).measure_all()
+        circ = (
+            NoiseModel()
+            .add_all_qubit_gate_noise("cx", two_qubit_depolarizing(0.02))
+            .apply(circ)
+            .freeze()
+        )
+        # Exactly one row at the 2x reshape-view headroom; the unclamped
+        # factor (3x under the default fusion_max_qubits=3) would raise.
+        snug = [
+            Device(
+                0,
+                memory_bytes=2 * statevector_bytes(2, dtype=np.complex128),
+                name="snug",
+            )
+        ]
+        executor = ShardedExecutor(
+            BackendSpec.batched_statevector(config=Config(fusion="auto")),
+            devices=snug,
+        )
+        result = executor.execute(circ, [_spec(0, 25)], seed=1)
+        assert result.total_shots == 25
+
+    def test_workspace_accounts_for_native_wide_gates(self):
+        """A native >=3-qubit gate hits the GEMM path even with fusion off,
+        so the 3x headroom must apply regardless of the fusion config."""
+        from repro.circuits.gates import CCX
+        from repro.config import Config
+        from repro.devices.memory import statevector_bytes
+
+        circ = Circuit(3).h(0).gate(CCX, 0, 1, 2).measure_all()
+        circ = (
+            NoiseModel()
+            .add_all_qubit_gate_noise("h", depolarizing(0.01))
+            .apply(circ)
+            .freeze()
+        )
+        # Fits one row at the 2x headroom, not at the 3x GEMM transient.
+        borderline = [
+            Device(
+                0,
+                memory_bytes=2 * statevector_bytes(3, dtype=np.complex128),
+                name="borderline",
+            )
+        ]
+        executor = ShardedExecutor(
+            BackendSpec.batched_statevector(config=Config(fusion="off")),
+            devices=borderline,
+        )
+        with pytest.raises(CapacityError, match="borderline"):
+            executor.execute(circ, [_spec(0, 10)], seed=0)
+
     def test_heterogeneous_pool(self, noisy_ghz3):
         specs = _pts_specs(noisy_ghz3, 5)
         serial = BatchedExecutor().execute(noisy_ghz3, specs, seed=4)
         pool = [
-            Device(0, memory_bytes=2 * 8 * 16, name="small"),
+            Device(0, memory_bytes=3 * 8 * 16, name="small"),
             Device(1, memory_bytes=80 * 10**9, name="big"),
         ]
         sharded = ShardedExecutor(devices=pool).execute(noisy_ghz3, specs, seed=4)

@@ -1,0 +1,457 @@
+"""Streaming shot delivery: chunk equivalence, replay seeds, clean abandonment."""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.channels import NoiseModel, depolarizing, two_qubit_depolarizing
+from repro.circuits import Circuit
+from repro.config import Config
+from repro.errors import ExecutionError
+from repro.execution import (
+    BackendSpec,
+    BatchedExecutor,
+    ParallelExecutor,
+    ShardedExecutor,
+    ShotChunk,
+    ShotTable,
+    StreamedResult,
+    VectorizedExecutor,
+    run_ptsbe,
+    run_ptsbe_stream,
+)
+from repro.execution.streaming import OrderedDelivery
+from repro.pts import ProbabilisticPTS, TrajectorySpec
+from repro.rng import make_rng
+from repro.trajectory.events import TrajectoryRecord
+
+
+def _pts_specs(circuit, pts_seed, nsamples=200, nshots=300):
+    return ProbabilisticPTS(nsamples=nsamples, nshots=nshots).sample(
+        circuit, make_rng(pts_seed)
+    ).specs
+
+
+def _spec(tid, shots):
+    return TrajectorySpec(
+        record=TrajectoryRecord(trajectory_id=tid, events=(), nominal_probability=1.0),
+        num_shots=shots,
+    )
+
+
+@pytest.fixture(scope="module")
+def brickwork():
+    """Small brickwork workload exercising dedup, fusion, and 2q windows."""
+    circ = Circuit(5)
+    for layer in range(3):
+        for q in range(5):
+            circ.h(q) if layer % 2 == 0 else circ.t(q)
+        for q in range(layer % 2, 4, 2):
+            circ.cx(q, q + 1)
+    circ.measure_all()
+    model = (
+        NoiseModel()
+        .add_all_qubit_gate_noise("cx", two_qubit_depolarizing(0.02))
+        .add_all_qubit_gate_noise("h", depolarizing(0.01))
+    )
+    return model.apply(circ).freeze()
+
+
+def _executor(strategy, fusion):
+    config = Config(fusion=fusion)
+    if strategy == "serial":
+        return BatchedExecutor(BackendSpec.statevector(config=config))
+    if strategy == "parallel":
+        return ParallelExecutor(BackendSpec.statevector(config=config), num_workers=2)
+    if strategy == "vectorized":
+        return VectorizedExecutor(
+            BackendSpec.batched_statevector(config=config), max_batch=4
+        )
+    if strategy == "sharded":
+        return ShardedExecutor(
+            BackendSpec.batched_statevector(config=config), devices=2, max_batch=4
+        )
+    raise AssertionError(strategy)
+
+
+STRATEGIES = ["serial", "parallel", "vectorized", "sharded"]
+
+
+class TestStreamedEquivalence:
+    """Acceptance matrix: all four strategies x fusion on/off."""
+
+    @pytest.mark.parametrize("fusion", ["auto", "off"])
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_concat_chunks_bitwise_equal_materialized(
+        self, brickwork, strategy, fusion
+    ):
+        specs = _pts_specs(brickwork, 11)
+        materialized = _executor(strategy, fusion).execute(brickwork, specs, seed=21)
+        stream = _executor(strategy, fusion).execute_stream(brickwork, specs, seed=21)
+        chunks = list(stream)
+        assert all(isinstance(c, ShotChunk) for c in chunks)
+        concat = ShotTable.concatenate([c.shot_table() for c in chunks])
+        reference = materialized.shot_table()
+        np.testing.assert_array_equal(concat.bits, reference.bits)
+        np.testing.assert_array_equal(concat.trajectory_ids, reference.trajectory_ids)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_finalize_reproduces_materialized_result(self, brickwork, strategy):
+        specs = _pts_specs(brickwork, 5)
+        materialized = _executor(strategy, "auto").execute(brickwork, specs, seed=8)
+        finalized = _executor(strategy, "auto").execute_stream(
+            brickwork, specs, seed=8
+        ).finalize()
+        np.testing.assert_array_equal(
+            finalized.shot_table().bits, materialized.shot_table().bits
+        )
+        assert finalized.records == materialized.records
+        np.testing.assert_array_equal(
+            [t.actual_weight for t in finalized.trajectories],
+            [t.actual_weight for t in materialized.trajectories],
+        )
+        assert finalized.unique_preparations == materialized.unique_preparations
+        assert finalized.seed == materialized.seed == 8
+
+    def test_finalize_after_partial_consumption(self, brickwork):
+        specs = _pts_specs(brickwork, 3)
+        materialized = BatchedExecutor().execute(brickwork, specs, seed=5)
+        stream = BatchedExecutor().execute_stream(brickwork, specs, seed=5)
+        first = next(stream)  # consume one chunk, then drain via finalize
+        assert first.num_trajectories == 1
+        result = stream.finalize()
+        np.testing.assert_array_equal(
+            result.shot_table().bits, materialized.shot_table().bits
+        )
+
+    def test_run_ptsbe_stream_matches_run_ptsbe(self, brickwork):
+        sampler = lambda: ProbabilisticPTS(nsamples=80, nshots=100)
+        materialized = run_ptsbe(brickwork, sampler(), seed=17, strategy="vectorized",
+                                 backend=BackendSpec.batched_statevector())
+        stream = run_ptsbe_stream(brickwork, sampler(), seed=17, strategy="vectorized",
+                                  backend=BackendSpec.batched_statevector())
+        concat = ShotTable.concatenate(list(stream.tables()))
+        np.testing.assert_array_equal(concat.bits, materialized.shot_table().bits)
+
+    def test_duplicate_specs_still_ordered(self, brickwork):
+        """Dedup groups spanning chunk boundaries must not reorder specs."""
+        base = _pts_specs(brickwork, 3)[:6]
+        # Re-key duplicates of spec 0's choices at late trajectory ids.
+        dup = TrajectorySpec(
+            record=TrajectoryRecord(
+                trajectory_id=base[-1].record.trajectory_id + 1,
+                events=base[0].record.events,
+                nominal_probability=base[0].record.nominal_probability,
+            ),
+            num_shots=40,
+        )
+        specs = base + [dup]
+        materialized = VectorizedExecutor(max_batch=2).execute(brickwork, specs, seed=3)
+        stream = VectorizedExecutor(max_batch=2).execute_stream(brickwork, specs, seed=3)
+        concat = ShotTable.concatenate([c.shot_table() for c in stream])
+        np.testing.assert_array_equal(concat.bits, materialized.shot_table().bits)
+        np.testing.assert_array_equal(
+            concat.trajectory_ids, materialized.shot_table().trajectory_ids
+        )
+
+
+class TestSeedResolution:
+    """The seed=None reproducibility bugfix."""
+
+    def test_run_ptsbe_records_resolved_seed(self, brickwork):
+        result = run_ptsbe(brickwork, ProbabilisticPTS(nsamples=40, nshots=50))
+        assert isinstance(result.seed, int)
+
+    def test_unseeded_run_replays_bitwise(self, brickwork):
+        first = run_ptsbe(brickwork, ProbabilisticPTS(nsamples=60, nshots=80))
+        replay = run_ptsbe(
+            brickwork, ProbabilisticPTS(nsamples=60, nshots=80), seed=first.seed
+        )
+        # Same PTS draw (same specs/records) AND same per-trajectory shots.
+        assert first.records == replay.records
+        np.testing.assert_array_equal(
+            first.shot_table().bits, replay.shot_table().bits
+        )
+        assert replay.seed == first.seed
+
+    @pytest.mark.parametrize("strategy,kwargs", [
+        ("parallel", {"num_workers": 2}),
+        ("sharded", {"devices": 2}),
+    ])
+    def test_unseeded_multiprocess_replay(self, brickwork, strategy, kwargs):
+        """Regression: workers used to draw independent entropy on seed=None."""
+        backend = (
+            BackendSpec.batched_statevector()
+            if strategy == "sharded"
+            else BackendSpec()
+        )
+        first = run_ptsbe(
+            brickwork,
+            ProbabilisticPTS(nsamples=40, nshots=60),
+            backend=backend,
+            strategy=strategy,
+            executor_kwargs=kwargs,
+        )
+        replay = run_ptsbe(
+            brickwork,
+            ProbabilisticPTS(nsamples=40, nshots=60),
+            backend=backend,
+            strategy=strategy,
+            executor_kwargs=kwargs,
+            seed=first.seed,
+        )
+        np.testing.assert_array_equal(
+            first.shot_table().bits, replay.shot_table().bits
+        )
+
+    def test_seeded_runs_unchanged_by_resolution(self, brickwork):
+        """Resolution is the identity for integer seeds (back-compat)."""
+        a = run_ptsbe(brickwork, ProbabilisticPTS(nsamples=40, nshots=50), seed=7)
+        b = run_ptsbe(brickwork, ProbabilisticPTS(nsamples=40, nshots=50), seed=7)
+        assert a.seed == b.seed == 7
+        np.testing.assert_array_equal(a.shot_table().bits, b.shot_table().bits)
+
+    def test_executor_records_resolved_seed(self, brickwork):
+        specs = _pts_specs(brickwork, 2)
+        result = BatchedExecutor().execute(brickwork, specs)  # seed=None
+        assert isinstance(result.seed, int)
+        replay = BatchedExecutor().execute(brickwork, specs, seed=result.seed)
+        np.testing.assert_array_equal(
+            result.shot_table().bits, replay.shot_table().bits
+        )
+
+    def test_stream_exposes_seed_before_any_chunk(self, brickwork):
+        stream = run_ptsbe_stream(brickwork, ProbabilisticPTS(nsamples=30, nshots=40))
+        assert isinstance(stream.seed, int)  # available pre-consumption
+        stream.close()
+
+    def test_two_unseeded_runs_draw_different_seeds(self, brickwork):
+        a = run_ptsbe(brickwork, ProbabilisticPTS(nsamples=20, nshots=30))
+        b = run_ptsbe(brickwork, ProbabilisticPTS(nsamples=20, nshots=30))
+        assert a.seed != b.seed  # 2**32 space; collision ~ never
+
+
+def _assert_no_child_processes(timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"leaked worker processes: {multiprocessing.active_children()}"
+    )
+
+
+class TestAbandonment:
+    """Mid-stream close() must leak neither processes nor buffers."""
+
+    def test_serial_close_is_idempotent(self, brickwork):
+        specs = _pts_specs(brickwork, 4)
+        stream = BatchedExecutor().execute_stream(brickwork, specs, seed=1)
+        next(stream)
+        stream.close()
+        stream.close()
+        assert stream.closed
+        with pytest.raises(StopIteration):
+            next(stream)
+
+    def test_finalize_after_close_raises(self, brickwork):
+        specs = _pts_specs(brickwork, 4)
+        stream = BatchedExecutor().execute_stream(brickwork, specs, seed=1)
+        next(stream)
+        stream.close()
+        with pytest.raises(ExecutionError, match="closed"):
+            stream.finalize()
+
+    def test_vectorized_close_releases_backend(self, brickwork):
+        specs = _pts_specs(brickwork, 4)
+        captured = {}
+
+        def factory(num_qubits):
+            from repro.backends.batched_statevector import BatchedStatevectorBackend
+
+            captured["backend"] = BatchedStatevectorBackend(num_qubits)
+            return captured["backend"]
+
+        stream = VectorizedExecutor(factory, max_batch=1).execute_stream(
+            brickwork, specs, seed=2
+        )
+        next(stream)
+        assert captured["backend"].batch_size > 0  # stack resident mid-run
+        stream.close()
+        assert captured["backend"].batch_size == 0  # released on abandonment
+
+    def test_vectorized_close_before_first_chunk_releases(self, brickwork):
+        """close() without consuming anything must still free the stack
+        (the generator body never starts, so close() runs the release)."""
+        specs = _pts_specs(brickwork, 4)
+        captured = {}
+
+        def factory(num_qubits):
+            from repro.backends.batched_statevector import BatchedStatevectorBackend
+
+            captured["backend"] = BatchedStatevectorBackend(num_qubits)
+            return captured["backend"]
+
+        stream = VectorizedExecutor(factory, max_batch=1).execute_stream(
+            brickwork, specs, seed=2
+        )
+        assert captured["backend"].batch_size > 0  # allocated eagerly
+        stream.close()
+        assert captured["backend"].batch_size == 0
+
+    def test_vectorized_full_drain_also_releases(self, brickwork):
+        specs = _pts_specs(brickwork, 4)
+        captured = {}
+
+        def factory(num_qubits):
+            from repro.backends.batched_statevector import BatchedStatevectorBackend
+
+            captured["backend"] = BatchedStatevectorBackend(num_qubits)
+            return captured["backend"]
+
+        stream = VectorizedExecutor(factory).execute_stream(brickwork, specs, seed=2)
+        stream.finalize()
+        assert captured["backend"].batch_size == 0
+
+    def test_parallel_close_leaves_no_processes(self, brickwork):
+        specs = _pts_specs(brickwork, 8)
+        stream = ParallelExecutor(num_workers=2).execute_stream(
+            brickwork, specs, seed=3
+        )
+        next(stream)
+        stream.close()
+        _assert_no_child_processes()
+
+    def test_sharded_pool_close_leaves_no_processes(self, brickwork):
+        specs = _pts_specs(brickwork, 8)
+        stream = ShardedExecutor(devices=2, num_workers=2).execute_stream(
+            brickwork, specs, seed=3
+        )
+        next(stream)
+        stream.close()
+        _assert_no_child_processes()
+
+    def test_context_manager_closes(self, brickwork):
+        specs = _pts_specs(brickwork, 4)
+        with ParallelExecutor(num_workers=2).execute_stream(
+            brickwork, specs, seed=4
+        ) as stream:
+            next(stream)
+        assert stream.closed
+        _assert_no_child_processes()
+
+
+class TestStreamingPrimitives:
+    def test_ordered_delivery_reorders(self):
+        t = [object() for _ in range(4)]
+        delivery = OrderedDelivery(4)
+        assert delivery.add([(2, t[2])]) == []
+        assert delivery.add([(0, t[0])]) == [t[0]]
+        assert delivery.add([(3, t[3]), (1, t[1])]) == [t[1], t[2], t[3]]
+        assert delivery.outstanding == 0
+
+    def test_ordered_delivery_rejects_duplicates_and_range(self):
+        delivery = OrderedDelivery(2)
+        delivery.add([(0, object())])
+        with pytest.raises(ExecutionError, match="duplicate"):
+            delivery.add([(0, object())])
+        with pytest.raises(ExecutionError, match="out of range"):
+            delivery.add([(5, object())])
+
+    def test_shot_chunk_table(self, brickwork):
+        stream = BatchedExecutor().execute_stream(
+            brickwork, _pts_specs(brickwork, 2)[:1], seed=0
+        )
+        chunk = next(stream)
+        table = chunk.shot_table()
+        assert table.num_shots == chunk.num_shots
+        assert table.measured_qubits == stream.measured_qubits
+        assert repr(chunk).startswith("ShotChunk(")
+
+    def test_empty_chunk_has_no_table(self):
+        chunk = ShotChunk(trajectories=(), measured_qubits=(0,))
+        with pytest.raises(ExecutionError, match="empty"):
+            chunk.shot_table()
+
+    def test_streamed_result_repr_tracks_state(self, brickwork):
+        specs = _pts_specs(brickwork, 3)
+        stream = BatchedExecutor().execute_stream(brickwork, specs, seed=0)
+        assert "open" in repr(stream)
+        next(stream)
+        assert stream.delivered_trajectories == 1
+        stream.close()
+        assert "closed" in repr(stream)
+
+
+class TestStreamedDecoderDataset:
+    """The incremental decoder-training consumer (paper §2.3)."""
+
+    @pytest.fixture(scope="class")
+    def steane(self):
+        from repro.circuits import Circuit as C
+        from repro.circuits.operations import GateOp
+        from repro.qec import steane_code, syndrome_extraction_circuit
+
+        code = steane_code()
+        circ, layout = syndrome_extraction_circuit(code, rounds=1)
+        noisy = C(circ.num_qubits)
+        injected = False
+        for op in circ:
+            if not injected and isinstance(op, GateOp) and op.qubits[0] >= code.n:
+                for q in range(code.n):
+                    noisy.attach(depolarizing(0.02), q)
+                injected = True
+            noisy.append(op)
+        noisy.freeze()
+        return code, noisy, layout
+
+    def test_streamed_dataset_matches_materialized(self, steane):
+        from repro.data.dataset import build_decoder_dataset
+
+        code, circ, layout = steane
+        sampler = lambda: ProbabilisticPTS(nsamples=150, nshots=40)
+        materialized = build_decoder_dataset(
+            run_ptsbe(circ, sampler(), seed=40), circ, code, layout
+        )
+        streamed = build_decoder_dataset(
+            run_ptsbe_stream(circ, sampler(), seed=40), circ, code, layout
+        )
+        np.testing.assert_array_equal(streamed.features, materialized.features)
+        np.testing.assert_array_equal(streamed.labels, materialized.labels)
+        np.testing.assert_array_equal(
+            streamed.trajectory_ids, materialized.trajectory_ids
+        )
+        assert streamed.records == materialized.records
+        assert streamed.metadata == materialized.metadata
+
+    def test_rejects_partially_consumed_stream(self, steane):
+        from repro.data.dataset import build_decoder_dataset
+        from repro.errors import DataError
+
+        code, circ, layout = steane
+        stream = run_ptsbe_stream(
+            circ, ProbabilisticPTS(nsamples=50, nshots=20), seed=42
+        )
+        next(stream)  # consume a chunk before handing the stream over
+        with pytest.raises(DataError, match="partially consumed"):
+            build_decoder_dataset(stream, circ, code, layout)
+        stream.close()
+
+    def test_iter_decoder_batches_incremental(self, steane):
+        from repro.data.dataset import iter_decoder_batches
+
+        code, circ, layout = steane
+        stream = run_ptsbe_stream(
+            circ, ProbabilisticPTS(nsamples=100, nshots=30), seed=41
+        )
+        batches = list(iter_decoder_batches(stream, circ, code, layout))
+        assert len(batches) > 1  # genuinely incremental, not one blob
+        total = sum(features.shape[0] for features, _, _ in batches)
+        assert total == stream.finalize().total_shots
+        for features, labels, tids in batches:
+            assert features.shape[0] == labels.shape[0] == tids.shape[0]
+            assert features.shape[1] == layout.syndrome_bit_count()
+            assert set(np.unique(labels)) <= {0, 1}
