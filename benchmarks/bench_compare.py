@@ -36,9 +36,10 @@ from _harness import validate_file
 
 #: Columns never used for row identity: the compared metric is excluded
 #: explicitly; these are excluded always (wall-time duplicates the metric,
-#: and time-to-first-chunk is a newer column older baselines lack — keeping
-#: it out of identity lets a fresh run still match a committed baseline).
-TIME_COLUMNS = ("seconds", "first_chunk_seconds")
+#: and time-to-first-chunk / renorm-time are newer columns older baselines
+#: lack — keeping them out of identity lets a fresh run still match a
+#: committed baseline).
+TIME_COLUMNS = ("seconds", "first_chunk_seconds", "renorm_seconds")
 
 
 def row_key(row: Dict[str, Any], metric: str) -> Tuple:

@@ -21,6 +21,14 @@ the ``seconds`` column's full materialized run — the latency a streaming
 decoder-training loop (``run_ptsbe_stream``) saves before its first
 mini-batch.
 
+The ``renorm s`` column reports the wall time each in-process run spent
+in post-noise-window renormalization (the backends' ``renorm_seconds``
+counters) — the cost the batched ``row_norms_squared`` reduction attacks.
+The standalone main additionally emits micro-bench rows for the
+renormalization sweep itself (batched vs. the legacy per-row vdot loop,
+with a B>=64 speedup assertion) and for the k=3 reshape-view kernel tier
+vs. the moveaxis+GEMM fallback it replaced.
+
 Run under pytest-benchmark:
 
     PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_executor.py -q
@@ -38,8 +46,11 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
 import pytest
 
+from repro.backends.batched_statevector import BatchedStatevectorBackend
+from repro.backends.statevector import StatevectorBackend
 from repro.channels import NoiseModel, depolarizing, two_qubit_depolarizing
 from repro.circuits import Circuit
 from repro.config import Config
@@ -50,6 +61,13 @@ from repro.execution import (
     ShardedExecutor,
     VectorizedExecutor,
 )
+from repro.linalg import (
+    apply_compiled_stack,
+    apply_gemm_stack,
+    compile_operator,
+    random_unitary,
+    row_norms_squared,
+)
 from repro.pts.base import NoiseSiteView, PTSAlgorithm
 
 NUM_QUBITS = 12
@@ -57,7 +75,9 @@ SHOTS_PER_TRAJECTORY = 256
 TRAJECTORY_COUNTS = [1, 8, 32, 64]
 
 #: Explicit fusion configs so the bench measures what it claims even under
-#: a REPRO_FUSION=off environment (the CI fusion-off leg).
+#: a REPRO_FUSION=off environment (the CI fusion-off leg).  On this
+#: 12-qubit workload the width-aware auto-cap resolves the fused window
+#: cap to 4.
 FUSION_AUTO = Config(fusion="auto")
 FUSION_OFF = Config(fusion="off")
 
@@ -138,22 +158,49 @@ def _time_to_first_chunk(executor, workload, specs) -> float:
         stream.close()
 
 
+def _capturing_serial(config):
+    """A serial executor whose created backends stay reachable, so the
+    per-run renormalization wall time (``backend.renorm_seconds``) can be
+    read back after each execute."""
+    created = []
+
+    def factory(num_qubits):
+        backend = StatevectorBackend(num_qubits, config=config)
+        created.append(backend)
+        return backend
+
+    return BatchedExecutor(factory), created
+
+
+def _capturing_vectorized(config):
+    created = []
+
+    def factory(num_qubits):
+        backend = BatchedStatevectorBackend(num_qubits, config=config)
+        created.append(backend)
+        return backend
+
+    return VectorizedExecutor(factory), created
+
+
 def _strategy_rows(workload, num_traj, include_parallel=False, include_sharded=False):
-    """(strategy, fusion, shots/s, seconds, first-chunk seconds) rows."""
+    """(strategy, fusion, shots/s, seconds, first-chunk s, renorm s) rows.
+
+    The renorm column reports the wall time the best run spent in
+    post-noise-window renormalization (norm reduction + scale) — the cost
+    the batched ``row_norms_squared`` sweep attacks.  It is measurable
+    in-process only, so the process-pool strategies report ``None``.
+    """
     specs = _distinct_specs(workload, num_traj)
+    serial_auto, serial_auto_backends = _capturing_serial(FUSION_AUTO)
+    serial_off, serial_off_backends = _capturing_serial(FUSION_OFF)
+    vec_auto, vec_auto_backends = _capturing_vectorized(FUSION_AUTO)
+    vec_off, vec_off_backends = _capturing_vectorized(FUSION_OFF)
     executors = [
-        ("serial", "auto", BatchedExecutor(BackendSpec.statevector(config=FUSION_AUTO))),
-        ("serial", "off", BatchedExecutor(BackendSpec.statevector(config=FUSION_OFF))),
-        (
-            "vectorized",
-            "auto",
-            VectorizedExecutor(BackendSpec.batched_statevector(config=FUSION_AUTO)),
-        ),
-        (
-            "vectorized",
-            "off",
-            VectorizedExecutor(BackendSpec.batched_statevector(config=FUSION_OFF)),
-        ),
+        ("serial", "auto", serial_auto, serial_auto_backends),
+        ("serial", "off", serial_off, serial_off_backends),
+        ("vectorized", "auto", vec_auto, vec_auto_backends),
+        ("vectorized", "off", vec_off, vec_off_backends),
     ]
     if include_parallel:
         executors.insert(
@@ -164,6 +211,7 @@ def _strategy_rows(workload, num_traj, include_parallel=False, include_sharded=F
                 ParallelExecutor(
                     BackendSpec.statevector(config=FUSION_AUTO), num_workers=2
                 ),
+                None,
             ),
         )
     if include_sharded:
@@ -174,21 +222,123 @@ def _strategy_rows(workload, num_traj, include_parallel=False, include_sharded=F
                 ShardedExecutor(
                     BackendSpec.batched_statevector(config=FUSION_AUTO), devices=2
                 ),
+                None,
             )
         )
     rows = []
     total_shots = num_traj * SHOTS_PER_TRAJECTORY
-    for name, fusion, executor in executors:
+    for name, fusion, executor, backends in executors:
         best = float("inf")
+        best_renorm = None
         for _ in range(3):
+            before = (
+                sum(b.renorm_seconds for b in backends)
+                if backends is not None
+                else 0.0
+            )
             t0 = time.perf_counter()
             executor.execute(workload, specs, seed=0)
-            best = min(best, time.perf_counter() - t0)
+            elapsed = time.perf_counter() - t0
+            if elapsed < best:
+                best = elapsed
+                if backends is not None:
+                    best_renorm = sum(b.renorm_seconds for b in backends) - before
         first_chunk = min(
             _time_to_first_chunk(executor, workload, specs) for _ in range(3)
         )
-        rows.append((name, fusion, total_shots / best, best, first_chunk))
+        rows.append((name, fusion, total_shots / best, best, first_chunk, best_renorm))
     return rows
+
+
+def _best_of(fn, repeats=20):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _random_stack(rows, num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    stack = rng.normal(size=(rows, 2**num_qubits)) + 1j * rng.normal(
+        size=(rows, 2**num_qubits)
+    )
+    return np.ascontiguousarray(stack.astype(np.complex128))
+
+
+def _renorm_sweep_rows(stack_rows=(8, 64, 256), num_qubits=NUM_QUBITS):
+    """Batched ``row_norms_squared`` vs. the legacy per-row vdot sweep.
+
+    The batched path must win at B >= 64 on the reduction itself — on a
+    device module it additionally collapses B host syncs into one, which
+    this host-side bench cannot show.
+    """
+    rows = []
+    speedups = {}
+    for b in stack_rows:
+        stack = _random_stack(b, num_qubits, seed=b)
+        sweep = _best_of(
+            lambda: np.array(
+                [float(np.real(np.vdot(row, row))) for row in stack]
+            )
+        )
+        batched = _best_of(lambda: row_norms_squared(stack, np))
+        rows.append(
+            {"kernel": "renorm-vdot-sweep", "stack_rows": b, "seconds": sweep}
+        )
+        rows.append(
+            {"kernel": "renorm-batched", "stack_rows": b, "seconds": batched}
+        )
+        speedups[b] = sweep / batched
+    return rows, speedups
+
+
+K3_BENCH_TARGETS = [(0, 1, 2), (4, 5, 6), (9, 10, 11), (2, 6, 10)]
+
+
+def _k3_tier_rows(stack_rows=64, num_qubits=NUM_QUBITS):
+    """The k=3 reshape-view tier vs. the moveaxis+GEMM fallback it replaced.
+
+    Contiguous and gapped target layouts on the bench workload's width;
+    dense application does not mutate its input, so one stack serves every
+    timed call.
+    """
+    rng = np.random.default_rng(7)
+    stack = _random_stack(stack_rows, num_qubits, seed=3)
+    rows = []
+    for targets in K3_BENCH_TARGETS:
+        op = compile_operator(
+            random_unitary(8, rng), targets, np.dtype(np.complex128)
+        )
+        label = "-".join(str(t) for t in targets)
+        view = _best_of(
+            lambda: apply_compiled_stack(stack, op, num_qubits), repeats=5
+        )
+        gemm = _best_of(
+            lambda: apply_gemm_stack(stack, op, num_qubits), repeats=5
+        )
+        rows.append(
+            {
+                "kernel": "k3-view",
+                "targets": label,
+                "stack_rows": stack_rows,
+                "seconds": view,
+            }
+        )
+        rows.append(
+            {
+                "kernel": "k3-gemm",
+                "targets": label,
+                "stack_rows": stack_rows,
+                "seconds": gemm,
+            }
+        )
+    return rows
+
+
+def _format_renorm(renorm):
+    return f"{renorm:>9.4f}" if renorm is not None else f"{'-':>9}"
 
 
 def test_strategy_report(benchmark, workload):
@@ -202,13 +352,13 @@ def test_strategy_report(benchmark, workload):
     lines = ["", f"strategies on {NUM_QUBITS}-qubit brickwork, {SHOTS_PER_TRAJECTORY} shots/trajectory"]
     lines.append(
         f"{'trajectories':>12} {'strategy':>11} {'fusion':>6} {'shots/s':>12} "
-        f"{'seconds':>9} {'1st chunk':>10}"
+        f"{'seconds':>9} {'1st chunk':>10} {'renorm s':>9}"
     )
     for num_traj, rows in table.items():
-        for name, fusion, rate, seconds, first_chunk in rows:
+        for name, fusion, rate, seconds, first_chunk, renorm in rows:
             lines.append(
                 f"{num_traj:>12d} {name:>11} {fusion:>6} {rate:>12.3e} "
-                f"{seconds:>9.4f} {first_chunk:>10.4f}"
+                f"{seconds:>9.4f} {first_chunk:>10.4f} {_format_renorm(renorm)}"
             )
     report = "\n".join(lines)
     print(report)
@@ -221,7 +371,7 @@ def test_strategy_report(benchmark, workload):
         # Streaming: the serial stream hands over its first trajectory
         # after ~1/num_traj of the run — assert it beats the full-run
         # latency by a wide margin (the time-to-first-chunk contract).
-        for name, fusion, _, seconds, first_chunk in table[num_traj]:
+        for name, fusion, _, seconds, first_chunk, _renorm in table[num_traj]:
             if name == "serial":
                 assert first_chunk < seconds / 2, (
                     f"first streamed chunk ({first_chunk:.4f}s) should be well "
@@ -241,6 +391,17 @@ def test_strategy_report(benchmark, workload):
         )
 
 
+def test_batched_renorm_beats_vdot_sweep():
+    """The batched row_norms_squared reduction must outrun the legacy
+    per-row vdot sweep at B >= 64 (on host; on a device module it also
+    collapses B host syncs into one, which this bench cannot show)."""
+    _, speedups = _renorm_sweep_rows(stack_rows=(64, 256))
+    assert speedups[64] > 1.0, (
+        f"batched renorm reduction {speedups[64]:.2f}x vs the per-row vdot "
+        "sweep at B=64 — expected a measurable speedup"
+    )
+
+
 if __name__ == "__main__":
     from _harness import make_parser, write_json
 
@@ -249,7 +410,7 @@ if __name__ == "__main__":
     print(f"workload: {circuit}")
     print(
         f"{'trajectories':>12} {'strategy':>11} {'fusion':>6} {'shots/s':>12} "
-        f"{'seconds':>9} {'1st chunk':>10}"
+        f"{'seconds':>9} {'1st chunk':>10} {'renorm s':>9}"
     )
     json_rows = []
     fusion_rates = {}
@@ -262,10 +423,10 @@ if __name__ == "__main__":
             include_parallel=(num_traj >= 8),
             include_sharded=(num_traj >= 8),
         )
-        for name, fusion, rate, seconds, first_chunk in rows:
+        for name, fusion, rate, seconds, first_chunk, renorm in rows:
             print(
                 f"{num_traj:>12d} {name:>11} {fusion:>6} {rate:>12.3e} "
-                f"{seconds:>9.4f} {first_chunk:>10.4f}"
+                f"{seconds:>9.4f} {first_chunk:>10.4f} {_format_renorm(renorm)}"
             )
             fusion_rates[(num_traj, name, fusion)] = rate
             first_chunks[(num_traj, name, fusion)] = first_chunk
@@ -278,6 +439,7 @@ if __name__ == "__main__":
                     "shots_per_second": rate,
                     "seconds": seconds,
                     "first_chunk_seconds": first_chunk,
+                    "renorm_seconds": renorm,
                 }
             )
     largest = TRAJECTORY_COUNTS[-1]
@@ -291,6 +453,27 @@ if __name__ == "__main__":
         f"time to first streamed chunk (serial, B={largest}): {ttfc:.4f}s vs "
         f"{full:.4f}s materialized ({full / ttfc:.0f}x earlier delivery)"
     )
+
+    print(f"\nrenormalization sweep on (B, 2**{NUM_QUBITS}) stacks")
+    print(f"{'kernel':>18} {'rows':>6} {'seconds':>12}")
+    renorm_rows, renorm_speedups = _renorm_sweep_rows()
+    for row in renorm_rows:
+        print(f"{row['kernel']:>18} {row['stack_rows']:>6d} {row['seconds']:>12.3e}")
+    json_rows.extend(renorm_rows)
+    for b, s in sorted(renorm_speedups.items()):
+        print(f"batched renorm speedup vs per-row vdot sweep (B={b}): {s:.2f}x")
+    assert renorm_speedups[64] > 1.0, (
+        f"batched renorm reduction regressed: {renorm_speedups[64]:.2f}x vs the "
+        "per-row vdot sweep at B=64"
+    )
+
+    print(f"\nk=3 kernel tier on a (64, 2**{NUM_QUBITS}) stack")
+    print(f"{'kernel':>10} {'targets':>8} {'seconds':>12}")
+    k3_rows = _k3_tier_rows()
+    for row in k3_rows:
+        print(f"{row['kernel']:>10} {row['targets']:>8} {row['seconds']:>12.3e}")
+    json_rows.extend(k3_rows)
+
     if args.json:
         write_json(
             args.json,

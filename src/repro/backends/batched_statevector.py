@@ -22,12 +22,17 @@ trajectories in one fused operation:
   applied via the same batched kernel over its row sub-slice.  Since PTS
   trajectories overwhelmingly take the dominant branch, there are
   typically only one or two groups per window.
-* **Per-row renormalization** after each noise window deliberately mirrors
-  the serial backend operation-for-operation (``vdot`` then scale) on the
-  *same plan*, so a stacked trajectory is *bitwise identical* to the same
-  trajectory run on :class:`StatevectorBackend` — the property the
-  seed-fixed equivalence tests in ``tests/test_vectorized.py`` and
-  ``tests/test_fusion.py`` assert.
+* **Batched renormalization** after each noise window runs the *shared*
+  :func:`~repro.linalg.reductions.row_norms_squared` reduction once over
+  the whole stack — the same row-independent reduction the serial
+  backend's ``norm_squared`` applies to its state as a 1-row stack — so a
+  stacked trajectory stays *bitwise identical* to the same trajectory run
+  on :class:`StatevectorBackend` by construction, while the stack pays
+  one device-resident reduction and a single host sync per noise window
+  instead of B host-synced ``vdot`` calls (the former dominant
+  stacked-path cost at large B).  The equivalence is asserted by the
+  seed-fixed tests in ``tests/test_vectorized.py`` and
+  ``tests/test_fusion.py``.
 
 Rows whose prescribed Kraus branch annihilates the actual state (possible
 for general, non-unitary-mixture channels whose nominal probabilities are
@@ -52,6 +57,7 @@ the stack was prepared.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -60,6 +66,7 @@ from repro.backends.base import validate_deferred_measurement
 from repro.backends.statevector import bits_from_indices
 from repro.linalg.apply import apply_compiled_stack, apply_matrix_stack
 from repro.linalg.backend import get_array_backend
+from repro.linalg.reductions import row_norms_squared, scale_rows_inverse_sqrt
 from repro.circuits.circuit import Circuit
 from repro.config import Config, DEFAULT_CONFIG
 from repro.errors import BackendError, CapacityError, ExecutionError
@@ -118,6 +125,10 @@ class BatchedStatevectorBackend:
         self._cum_stack = None  # (B, dim) cumulative tensor on the array module
         self._cum_totals: Optional[np.ndarray] = None  # host per-row norms
         self.preparations = 0  # total stacked trajectories prepared (dedup audit)
+        #: Cumulative wall time spent renormalizing the stack after noise
+        #: windows (reduction + scale + bookkeeping) — the benchmark
+        #: counter behind the strategy table's renorm column.
+        self.renorm_seconds = 0.0
         self.reset(batch_size)
 
     # ------------------------------------------------------------------ #
@@ -251,11 +262,16 @@ class BatchedStatevectorBackend:
         self._invalidate()
 
     def norms_squared(self) -> np.ndarray:
-        """Per-row <psi|psi> of the current stack (host NumPy)."""
-        xp = self._xp
-        return np.array(
-            [float(xp.real(xp.vdot(row, row))) for row in self._stack]
-        )
+        """Per-row <psi|psi> of the current stack (host NumPy).
+
+        One stack-wide :func:`~repro.linalg.reductions.row_norms_squared`
+        call — the same shared reduction the serial backend's
+        ``norm_squared`` runs, so entry ``i`` is bitwise what
+        ``StatevectorBackend`` would report for row ``i``'s state.
+        """
+        return self._ab.to_host(
+            row_norms_squared(self._stack, self._xp)
+        ).astype(np.float64, copy=False)
 
     # ------------------------------------------------------------------ #
     # stacked trajectory preparation (the vectorized BE primitive)
@@ -325,6 +341,8 @@ class BatchedStatevectorBackend:
             if not self._alive[row]:
                 continue
             groups.setdefault(step.key_for(choices), []).append(row)
+        if not groups:
+            return  # every row already dead: nothing to apply or scale
         if len(groups) == 1:
             # Unanimous variant: hit the whole stack in place (dead rows
             # are zero and stay zero under any operator).
@@ -352,24 +370,31 @@ class BatchedStatevectorBackend:
                     self.num_qubits,
                     xp=self._xp,
                 )
-        # Per-row vdot is deliberate even though it costs one host sync per
-        # row on a device module: the serial backend computes each norm as
-        # vdot(state, state), and a batched einsum reduction can differ in
-        # summation order (and hence in the last ulp), which would break
-        # the bitwise serial/stacked equivalence contract.
+        # Batched renormalization: one stack-wide reduction (the same
+        # row-independent row_norms_squared the serial norm_squared runs,
+        # so per-row results are bitwise serial-identical by construction)
+        # and a single host sync for the (B,) norm vector — replacing the
+        # per-row vdot sweep that cost one host sync per row and was the
+        # dominant stacked-path cost at large B.  Dead rows (previously
+        # dead, or annihilated by this window) get a unit divisor: x / 1.0
+        # is bitwise x, and newly-dead rows are zeroed below anyway.
+        xp = self._xp
+        t0 = time.perf_counter()
+        norms = row_norms_squared(self._stack, xp)
+        norms_host = self._ab.to_host(norms)
+        scale_rows_inverse_sqrt(self._stack, norms, xp, dead_norm=_DEAD_NORM)
         for rows in groups.values():
             for row in rows:
-                state = self._stack[row]
-                n2 = float(self._xp.real(self._xp.vdot(state, state)))
+                n2 = float(norms_host[row])
                 if n2 <= _DEAD_NORM:
                     # This branch annihilates the actual state (nominal
                     # probabilities are only priors for general channels).
                     self._alive[row] = False
                     weights[row] = 0.0
-                    state.fill(0)
+                    self._stack[row].fill(0)
                     continue
                 weights[row] *= n2
-                state /= np.sqrt(n2)
+        self.renorm_seconds += time.perf_counter() - t0
         self._invalidate()
 
     # ------------------------------------------------------------------ #
@@ -451,7 +476,10 @@ class BatchedStatevectorBackend:
             raise BackendError(f"stack row {row} has zero norm (dead trajectory)")
         r = rng.random(num_shots)
         indices = self._xp.searchsorted(cum[row], self._xp.asarray(r), side="right")
-        return self._ab.to_host(indices).astype(np.int64, copy=False)
+        # Shot indices are the one bulk device->host transfer of the
+        # sampling hot path: stage through pinned memory under CuPy
+        # (identity under NumPy) for DMA-speed copies.
+        return self._ab.to_host_pinned(indices).astype(np.int64, copy=False)
 
     def sample(
         self,

@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -22,6 +23,17 @@ ATOL = 1e-9
 
 #: Looser tolerance for accumulated floating-point drift across deep circuits.
 RTOL = 1e-7
+
+#: Width-aware fusion auto-cap constants: circuits narrower than
+#: :data:`FUSION_AUTO_WIDE_QUBITS` resolve ``fusion_max_qubits=None`` to
+#: the narrow cap, wider ones to the wide cap.  The split point comes from
+#: the brickwork measurements in the ROADMAP: at >= ~12 qubits a cap of 4
+#: wins (fewer windows, hence fewer renormalization sweeps) despite the
+#: ``2**k x 2**k`` variant matrices, while narrow circuits cannot amortize
+#: the wider windows.
+FUSION_AUTO_WIDE_QUBITS = 12
+FUSION_AUTO_CAP_NARROW = 3
+FUSION_AUTO_CAP_WIDE = 4
 
 
 def _default_fusion() -> str:
@@ -60,12 +72,25 @@ class Config:
         Overridable via the ``REPRO_FUSION`` environment variable (read
         at :class:`Config` construction; used by the CI fusion-off leg).
     fusion_max_qubits:
-        Largest qubit support of one fused window (default 3).  Windows
-        of 1–2 qubits run on the reshape-view fast path of the gate
-        kernel; wider ones use the generic batched-GEMM path, which on
-        the brickwork benchmarks still wins (4 measures faster yet —
-        fewer windows, hence fewer renormalization sweeps — at the price
-        of ``2**k x 2**k`` fused matrices per Kraus variant).
+        Largest qubit support of one fused window.  ``None`` (default)
+        resolves width-aware per circuit via
+        :meth:`resolved_fusion_max_qubits`: 3 for circuits narrower than
+        12 qubits, 4 at 12 and above (per the brickwork measurements —
+        fewer windows, hence fewer renormalization sweeps, at the price
+        of ``2**k x 2**k`` fused matrices per Kraus variant).  An explicit
+        integer always overrides the auto-resolution.  Windows of up to 3
+        qubits run on the reshape-view fast paths of the gate kernel;
+        wider ones use the generic batched-GEMM path (which also needs 3x
+        instead of 2x workspace headroom per stacked row — see
+        :meth:`repro.execution.sharded.ShardedExecutor`).
+    measured_cost_feedback:
+        When ``True``, a :class:`~repro.execution.sharded.ShardedExecutor`
+        refines its group-scheduling cost constants from the prep/sample
+        wall times measured on its *previous* runs instead of the analytic
+        perf-model constants (default ``False``).  Affects only how dedup
+        groups are binned across devices — shard assignment never changes
+        results (the bitwise cross-strategy contract holds for any
+        assignment).
     atol:
         Absolute tolerance for verification checks.
     max_dense_qubits:
@@ -83,7 +108,8 @@ class Config:
     dtype: np.dtype = np.dtype(np.complex128)
     array_module: str = "auto"
     fusion: str = field(default_factory=_default_fusion)
-    fusion_max_qubits: int = 3
+    fusion_max_qubits: Optional[int] = None
+    measured_cost_feedback: bool = False
     atol: float = ATOL
     max_dense_qubits: int = 26
     max_density_qubits: int = 12
@@ -93,6 +119,24 @@ class Config:
     def real_dtype(self) -> np.dtype:
         """Matching real dtype for probability vectors."""
         return np.dtype(np.float32) if self.dtype == np.complex64 else np.dtype(np.float64)
+
+    def resolved_fusion_max_qubits(self, num_qubits: int) -> int:
+        """The fusion window cap in effect for a circuit of ``num_qubits``.
+
+        An explicitly set :attr:`fusion_max_qubits` wins unconditionally;
+        the ``None`` default resolves width-aware —
+        :data:`FUSION_AUTO_CAP_WIDE` (4) for circuits of
+        :data:`FUSION_AUTO_WIDE_QUBITS` (12) qubits or more,
+        :data:`FUSION_AUTO_CAP_NARROW` (3) below.  The plan compiler and
+        the sharded executor's workspace sizing both read the cap through
+        here, so the two can never disagree about which kernel tier a run
+        can reach.
+        """
+        if self.fusion_max_qubits is not None:
+            return int(self.fusion_max_qubits)
+        if num_qubits >= FUSION_AUTO_WIDE_QUBITS:
+            return FUSION_AUTO_CAP_WIDE
+        return FUSION_AUTO_CAP_NARROW
 
     def replace(self, **kwargs) -> "Config":
         """Return a copy with the given fields replaced."""

@@ -131,6 +131,7 @@ class BatchedExecutor:
         circuit: Circuit,
         specs: Sequence[TrajectorySpec],
         seed: Optional[int] = None,
+        retain: bool = True,
     ) -> StreamedResult:
         """Stream one :class:`ShotChunk` per spec, in spec order.
 
@@ -138,7 +139,9 @@ class BatchedExecutor:
         handed over the moment its bulk sample completes, so a consumer
         sees the first shots after a single state preparation.
         :meth:`StreamedResult.finalize` reproduces :meth:`execute`
-        bitwise.
+        bitwise.  ``retain=False`` drops chunks after delivery
+        (``finalize`` unavailable) to bound memory for pure-ingest
+        consumers.
         """
         circuit.freeze()
         measured = tuple(circuit.measured_qubits)
@@ -191,6 +194,7 @@ class BatchedExecutor:
             measured_qubits=measured,
             seed=streams.seed,
             total_trajectories=len(specs),
+            retain=retain,
         )
 
 
@@ -336,6 +340,7 @@ def run_ptsbe_stream(
     sample_kwargs: Optional[Dict] = None,
     strategy: str = "auto",
     executor_kwargs: Optional[Dict] = None,
+    retain: bool = True,
 ) -> StreamedResult:
     """The PTSBE pipeline with streaming shot delivery.
 
@@ -347,6 +352,9 @@ def run_ptsbe_stream(
     materialized shot table, so concatenating the chunks reproduces it
     bitwise), call ``finalize()`` to drain into the identical
     :class:`PTSBEResult`, or ``close()`` to abandon the run cleanly.
+    ``retain=False`` puts the stream in pure-ingest mode: each chunk is
+    dropped once handed over, bounding memory to one in-flight chunk for
+    arbitrarily long runs, with ``finalize()`` unavailable.
 
     ``seed=None`` is resolved to one concrete root seed *here*, before
     the PTS sampler draws anything; the sampler and the chosen executor
@@ -370,4 +378,6 @@ def run_ptsbe_stream(
     pts_result = sampler.sample(circuit, rng)
     target = getattr(sampler, "twirled_circuit", None) or circuit
     executor = _make_executor(backend, strategy, sample_kwargs, executor_kwargs)
-    return executor.execute_stream(target, pts_result.specs, seed=streams.seed)
+    return executor.execute_stream(
+        target, pts_result.specs, seed=streams.seed, retain=retain
+    )

@@ -87,6 +87,7 @@ class ParallelExecutor:
         circuit: Circuit,
         specs: Sequence[TrajectorySpec],
         seed: Optional[int] = None,
+        retain: bool = True,
     ) -> StreamedResult:
         """Stream worker slices as they complete, in trajectory-id order.
 
@@ -95,6 +96,8 @@ class ParallelExecutor:
         (so the first chunk arrives when the worker holding the lowest
         ids finishes, not when the whole pool drains).  Abandoning the
         stream cancels unstarted worker slices and shuts the pool down.
+        ``retain=False`` drops chunks after delivery (``finalize``
+        unavailable) to bound memory for pure-ingest consumers.
         """
         circuit.freeze()
         measured = tuple(circuit.measured_qubits)
@@ -141,4 +144,5 @@ class ParallelExecutor:
             measured_qubits=measured,
             seed=streams.seed,
             total_trajectories=len(specs),
+            retain=retain,
         )

@@ -238,16 +238,19 @@ def build_fused_plan(circuit: Circuit, config: Optional[Config] = None) -> Fused
         raise ExecutionError(
             f"unknown fusion mode {config.fusion!r}; valid modes are: {valid}"
         )
-    if config.fusion_max_qubits < 1:
+    if config.fusion_max_qubits is not None and config.fusion_max_qubits < 1:
         raise ExecutionError(
             f"fusion_max_qubits must be >= 1, got {config.fusion_max_qubits}"
         )
+    # An explicit fusion_max_qubits overrides; the None default resolves
+    # width-aware (3 narrow / 4 at >= 12 qubits, see repro.config).
+    max_qubits = config.resolved_fusion_max_qubits(circuit.num_qubits)
     if config.fusion == "off":
         windows = [
             [op] for op in circuit if not isinstance(op, MeasureOp)
         ]
     else:
-        windows = schedule_fusion_windows(circuit, config.fusion_max_qubits)
+        windows = schedule_fusion_windows(circuit, max_qubits)
     cache = KernelVariantCache()
     dtype = config.dtype
     steps: List[PlanStep] = []
@@ -279,24 +282,30 @@ def build_fused_plan(circuit: Circuit, config: Optional[Config] = None) -> Fused
         circuit.num_qubits,
         num_source_ops,
         config.fusion,
-        config.fusion_max_qubits,
+        max_qubits,
         cache,
     )
 
 
 #: Per-circuit plan cache: weakly keyed on the circuit object, then on the
 #: fusion-relevant config fields.  A circuit is compiled once per process
-#: per (fusion, fusion_max_qubits, dtype) — every executor chunk, stack,
+#: per (fusion, resolved window cap, dtype) — every executor chunk, stack,
 #: and strategy after that reuses the same plan object (and its variant
-#: cache), the "compile once per dedup group" amortization.
+#: cache), the "compile once per dedup group" amortization.  Keying on the
+#: *resolved* cap means ``Config()`` and an explicit
+#: ``Config(fusion_max_qubits=3)`` share one plan on a narrow circuit.
 _PLAN_CACHE: "weakref.WeakKeyDictionary[Circuit, Dict[tuple, FusedPlan]]" = (
     weakref.WeakKeyDictionary()
 )
 _CACHE_STATS = {"hits": 0, "misses": 0}
 
 
-def _config_key(config: Config) -> tuple:
-    return (config.fusion, config.fusion_max_qubits, str(np.dtype(config.dtype)))
+def _config_key(config: Config, num_qubits: int) -> tuple:
+    return (
+        config.fusion,
+        config.resolved_fusion_max_qubits(num_qubits),
+        str(np.dtype(config.dtype)),
+    )
 
 
 def get_fused_plan(circuit: Circuit, config: Optional[Config] = None) -> FusedPlan:
@@ -306,7 +315,7 @@ def get_fused_plan(circuit: Circuit, config: Optional[Config] = None) -> FusedPl
     if per_circuit is None:
         per_circuit = {}
         _PLAN_CACHE[circuit] = per_circuit
-    key = _config_key(config)
+    key = _config_key(config, circuit.num_qubits)
     plan = per_circuit.get(key)
     if plan is None:
         _CACHE_STATS["misses"] += 1

@@ -45,6 +45,7 @@ from repro.devices.memory import statevector_bytes
 from repro.devices.perf_model import BackendTimings, PAPER_STATEVECTOR_TIMINGS
 from repro.errors import CapacityError, ExecutionError
 from repro.execution.batched import BackendSpec
+from repro.linalg.apply import MAX_VIEW_QUBITS
 from repro.execution.results import PTSBEResult, TrajectoryResult
 from repro.execution.scheduler import Scheduler
 from repro.execution.streaming import OrderedDelivery, StreamedResult, stream_pool
@@ -55,19 +56,66 @@ from repro.rng import StreamFactory
 __all__ = ["ShardedExecutor"]
 
 #: Memory headroom per stacked row with only the reshape-view kernels in
-#: play (every window <= 2 qubits): dense operators write into a fresh
-#: output buffer (``out = xp.empty_like(view)``), so peak usage is ~2x
-#: the resident ``(B, 2**n)`` stack.
+#: play (every operator <= 3 qubits, the tiers of ``repro.linalg.apply``):
+#: dense operators write into a fresh output buffer
+#: (``out = xp.empty_like(view)``), so peak usage is ~2x the resident
+#: ``(B, 2**n)`` stack.  The dedicated k=3 view tier is what moved fused
+#: 3-qubit windows and the native ``ccx`` under this cheaper bound —
+#: directly enlarging per-device shard capacity.
 _WORKSPACE_FACTOR_DENSE = 2
 
-#: Headroom once any operator can span >= 3 qubits — a fused window under
-#: ``fusion_max_qubits >= 3`` or a native wide gate (``ccx``): such
-#: operators take the moveaxis + batched-GEMM path in
-#: ``repro.linalg.apply``, whose peak holds the resident stack, the
-#: contiguous gathered input, *and* the GEMM output simultaneously — ~3x
-#: the stack, not 2x.  The pre-fusion factor of 2 under-provisioned
-#: exactly this transient.
+#: Headroom once any operator can span >= 4 qubits — a fused window under
+#: a resolved window cap of 4 (the width-aware auto-cap on >= 12 qubit
+#: circuits) or a native >= 4-qubit gate: such operators take the
+#: moveaxis + batched-GEMM path (``repro.linalg.apply.apply_gemm_stack``),
+#: whose peak holds the resident stack, the contiguous gathered input,
+#: *and* the GEMM output simultaneously — ~3x the stack, not 2x.
 _WORKSPACE_FACTOR_GEMM = 3
+
+
+class _MeasuredCosts:
+    """Running totals of observed per-group prep/sample wall times.
+
+    The trajectory results already carry measured ``prep_seconds`` (only
+    the first spec of a dedup group is charged) and ``sample_seconds``;
+    accumulating them across runs yields empirical per-preparation and
+    per-shot constants that replace the analytic perf-model ratio in the
+    scheduler's cost function once :attr:`Config.measured_cost_feedback`
+    is on.  Scheduling never changes results — only how well the bins
+    balance — so the feedback is purely a makespan refinement.
+    """
+
+    __slots__ = ("prep_seconds", "num_preps", "sample_seconds", "num_shots")
+
+    def __init__(self):
+        self.prep_seconds = 0.0
+        self.num_preps = 0
+        self.sample_seconds = 0.0
+        self.num_shots = 0
+
+    def observe(self, trajectories) -> None:
+        for t in trajectories:
+            if t.prep_seconds > 0.0:
+                self.prep_seconds += t.prep_seconds
+                self.num_preps += 1
+            self.sample_seconds += t.sample_seconds
+            self.num_shots += t.num_shots
+
+    def timings(self, like: BackendTimings) -> Optional[BackendTimings]:
+        """Empirical :class:`BackendTimings`, or ``None`` before any data.
+
+        Requires at least one observed preparation *and* one observed
+        shot so both constants are grounded; device-count metadata is
+        inherited from the analytic timings being refined.
+        """
+        if self.num_preps == 0 or self.num_shots == 0:
+            return None
+        return BackendTimings(
+            prep_seconds=self.prep_seconds / self.num_preps,
+            shot_seconds=self.sample_seconds / self.num_shots,
+            ref_devices=like.ref_devices,
+            scaling_efficiency=like.scaling_efficiency,
+        )
 
 
 def _shard_worker(args) -> List[Tuple[int, TrajectoryResult]]:
@@ -144,6 +192,7 @@ class ShardedExecutor:
             raise ExecutionError(f"max_batch must be positive, got {max_batch}")
         self.max_batch = max_batch
         self.timings = timings or PAPER_STATEVECTOR_TIMINGS
+        self._observed = _MeasuredCosts()
         self.scheduler = scheduler or Scheduler("greedy", cost_fn=self._group_cost)
         if num_workers <= 0:
             raise ExecutionError(f"num_workers must be positive, got {num_workers}")
@@ -172,12 +221,47 @@ class ShardedExecutor:
             raise ExecutionError("device pool must not be empty")
         return pool
 
+    def observed_timings(self) -> Optional[BackendTimings]:
+        """Empirical prep/shot constants from completed runs (or ``None``).
+
+        Populated as runs stream through this executor; consulted by the
+        group cost function only when ``Config.measured_cost_feedback``
+        is enabled on the backend config.
+        """
+        return self._observed.timings(self.timings)
+
+    def _cost_timings(self) -> BackendTimings:
+        """The timing constants scheduling uses for this executor.
+
+        Analytic perf-model constants by default; once the backend config
+        enables ``measured_cost_feedback`` *and* at least one run has
+        completed, the measured per-group prep/sample averages take over —
+        tightening makespan on pools whose real prep/shot ratio diverges
+        from the paper-calibrated one.
+        """
+        if self._backend_config().measured_cost_feedback:
+            measured = self.observed_timings()
+            if measured is not None:
+                return measured
+        return self.timings
+
     def _group_cost(self, group: SpecGroup) -> float:
-        """Perf-model cost of one dedup group: prepare once, sample merged."""
-        return self.timings.prep_seconds + group.total_shots * self.timings.shot_seconds
+        """Cost of one dedup group: prepare once, sample the merged budget."""
+        timings = self._cost_timings()
+        return timings.prep_seconds + group.total_shots * timings.shot_seconds
 
     def _backend_config(self) -> Config:
-        """The :class:`Config` the shard backends will run under."""
+        """The :class:`Config` the shard backends will run under.
+
+        A callable backend factory is opaque, so for it (and for a
+        :class:`BackendSpec` without an explicit ``config`` option) this
+        falls back to :data:`~repro.config.DEFAULT_CONFIG` — the same
+        resolution the per-device chunk sizing uses for the state dtype.
+        Config-gated behavior (``measured_cost_feedback``) therefore
+        follows the library default config under a callable factory:
+        enable it globally with ``configure(measured_cost_feedback=True)``
+        or pass a ``BackendSpec`` carrying the config.
+        """
         if isinstance(self.backend, BackendSpec):
             config = dict(self.backend.options).get("config")
             if config is not None:
@@ -187,15 +271,17 @@ class ShardedExecutor:
     def _workspace_factor(self, circuit: Circuit) -> int:
         """Per-row memory multiplier for chunk sizing.
 
-        Any operator on >= 3 qubits takes the moveaxis+GEMM kernel in
+        Any operator on >= 4 qubits takes the moveaxis+GEMM kernel in
         :mod:`repro.linalg.apply`, whose transient peaks at ~3x the
         resident stack (stack + contiguous gathered input + GEMM output);
-        everything narrower runs the reshape-view kernels, whose only
-        transient is a fresh output buffer (~2x).  Wide operators come
-        from two sources: fused windows (possible whenever fusion is on
-        with ``fusion_max_qubits >= 3`` — the default config) and the
-        circuit's own native gates/channels (a ``ccx`` hits the GEMM path
-        with fusion off too), so both are inspected.
+        everything up to 3 qubits runs the reshape-view kernels — the
+        dedicated k=3 tier included — whose only transient is a fresh
+        output buffer (~2x).  Wide operators come from two sources: fused
+        windows (possible whenever fusion is on and the resolved window
+        cap exceeds 3 — e.g. the width-aware auto-cap of 4 on >= 12 qubit
+        circuits) and the circuit's own native gates/channels (a 4-qubit
+        gate hits the GEMM path with fusion off too), so both are
+        inspected.
         """
         from repro.circuits.operations import GateOp, NoiseOp
 
@@ -212,9 +298,15 @@ class ShardedExecutor:
         )
         if config.fusion != "off":
             # A fused window can never span more qubits than the circuit
-            # has — don't charge a 2-qubit circuit the GEMM headroom.
-            widest = max(widest, min(config.fusion_max_qubits, circuit.num_qubits))
-        if widest >= 3:
+            # has — don't charge a narrow circuit the GEMM headroom.
+            widest = max(
+                widest,
+                min(
+                    config.resolved_fusion_max_qubits(circuit.num_qubits),
+                    circuit.num_qubits,
+                ),
+            )
+        if widest > MAX_VIEW_QUBITS:
             return _WORKSPACE_FACTOR_GEMM
         return _WORKSPACE_FACTOR_DENSE
 
@@ -250,6 +342,7 @@ class ShardedExecutor:
         circuit: Circuit,
         specs: Sequence[TrajectorySpec],
         seed: Optional[int] = None,
+        retain: bool = True,
     ) -> StreamedResult:
         """Stream each device shard's trajectories as the shard completes.
 
@@ -257,7 +350,9 @@ class ShardedExecutor:
         an :class:`~repro.execution.streaming.OrderedDelivery` buffer
         releases chunks in spec order, so concatenated streamed tables
         match :meth:`execute` bitwise.  Abandoning the stream cancels
-        unstarted shards and shuts the pool down.
+        unstarted shards and shuts the pool down.  ``retain=False`` drops
+        chunks after delivery (``finalize`` unavailable) to bound memory
+        for pure-ingest consumers.
         """
         circuit.freeze()
         measured = tuple(circuit.measured_qubits)
@@ -293,17 +388,20 @@ class ShardedExecutor:
                 # Shard workers already tag results with global spec
                 # positions; the pool helper handles completion order and
                 # abandonment cleanup.
-                yield from stream_pool(
+                for ready in stream_pool(
                     payloads,
                     _shard_worker,
                     delivery,
                     self.num_workers,
                     lambda _index, indexed: indexed,
-                )
+                ):
+                    self._observed.observe(ready)
+                    yield ready
             else:
                 for payload in payloads:
                     ready = delivery.add(_shard_worker(payload))
                     if ready:
+                        self._observed.observe(ready)
                         yield ready
 
         return StreamedResult(
@@ -312,4 +410,5 @@ class ShardedExecutor:
             seed=streams.seed,
             total_trajectories=len(specs),
             unique_preparations=len(groups),
+            retain=retain,
         )

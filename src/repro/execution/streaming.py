@@ -25,7 +25,11 @@ still preparing states.  This module is the delivery layer for
 * :meth:`StreamedResult.close` abandons the run mid-stream: the
   underlying generator's cleanup runs (process pools shut down with
   pending shards cancelled, stacked device buffers released), so a
-  consumer that got what it needed leaks nothing.
+  consumer that got what it needed leaks nothing;
+* ``retain=False`` (every ``execute_stream`` and
+  :func:`~repro.execution.batched.run_ptsbe_stream` accept it) drops
+  each chunk after delivery so pure-ingest consumers hold at most one
+  chunk of shots at a time — ``finalize()`` is unavailable in that mode.
 
 Determinism is untouched: streaming changes *when* results are handed
 over, never how they are computed — every trajectory still samples from
@@ -113,6 +117,15 @@ class StreamedResult:
     unique_preparations:
         Distinct state preparations the run will perform (``None`` for
         executors that prepare one state per spec unconditionally).
+    retain:
+        ``True`` (default) keeps every delivered trajectory so
+        :meth:`finalize` stays free.  ``False`` drops chunks the moment
+        they are handed over — memory stays bounded by one in-flight
+        chunk regardless of run length, the mode pure-ingest consumers
+        (e.g. a streaming decoder-training loop that never materializes
+        the run) want — at the price of :meth:`finalize` becoming
+        unavailable: a retained full result would defeat the point, so it
+        raises instead.
     """
 
     def __init__(
@@ -123,13 +136,16 @@ class StreamedResult:
         total_trajectories: int,
         unique_preparations: Optional[int] = None,
         on_close: Optional[Callable[[], None]] = None,
+        retain: bool = True,
     ):
         self._chunks = chunks
         self.measured_qubits = tuple(measured_qubits)
         self.seed = int(seed)
         self.unique_preparations = unique_preparations
+        self.retain = bool(retain)
         self._total = int(total_trajectories)
         self._collected: List[TrajectoryResult] = []
+        self._delivered = 0
         self._closed = False
         self._exhausted = False
         # Extra cleanup close() must run even when the generator body never
@@ -153,7 +169,9 @@ class StreamedResult:
         except StopIteration:
             self._exhausted = True
             raise
-        self._collected.extend(delivered)
+        self._delivered += len(delivered)
+        if self.retain:
+            self._collected.extend(delivered)
         return ShotChunk(tuple(delivered), self.measured_qubits)
 
     def chunks(self) -> Iterator[ShotChunk]:
@@ -171,7 +189,7 @@ class StreamedResult:
     @property
     def delivered_trajectories(self) -> int:
         """Trajectories handed over so far."""
-        return len(self._collected)
+        return self._delivered
 
     @property
     def closed(self) -> bool:
@@ -203,8 +221,16 @@ class StreamedResult:
         would have produced for the same ``(circuit, specs, seed)`` —
         identical shot tables, records, and weights.  Raises
         :class:`~repro.errors.ExecutionError` if the stream was closed
-        before every trajectory was delivered.
+        before every trajectory was delivered, or if it was opened with
+        ``retain=False`` (delivered chunks were dropped, so there is
+        nothing to assemble).
         """
+        if not self.retain:
+            raise ExecutionError(
+                "stream was opened with retain=False: delivered chunks are "
+                "dropped after hand-over, so no materialized result can be "
+                "assembled; iterate the stream instead"
+            )
         for _ in self:
             pass
         if len(self._collected) != self._total:

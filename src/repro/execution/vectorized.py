@@ -121,6 +121,7 @@ class VectorizedExecutor:
         circuit: Circuit,
         specs: Sequence[TrajectorySpec],
         seed: Optional[int] = None,
+        retain: bool = True,
     ) -> StreamedResult:
         """Stream each ``(B, 2**n)`` stack's trajectories as it completes.
 
@@ -129,7 +130,9 @@ class VectorizedExecutor:
         back specs whose dedup group lands in a later stack), so
         concatenated streamed tables match :meth:`execute` bitwise.
         Abandoning the stream releases the backend's stack and sampling
-        caches (device buffers under CuPy).
+        caches (device buffers under CuPy).  ``retain=False`` drops
+        chunks after delivery (``finalize`` unavailable) to bound memory
+        for pure-ingest consumers.
         """
         circuit.freeze()
         measured = tuple(circuit.measured_qubits)
@@ -207,4 +210,5 @@ class VectorizedExecutor:
             # time); a close() before the first chunk never enters the
             # generator, so its finally can't release — close() must.
             on_close=getattr(backend, "release", None),
+            retain=retain,
         )

@@ -10,9 +10,11 @@ from repro.linalg.backend import (
 from repro.linalg.apply import (
     CompiledOperator,
     apply_compiled_stack,
+    apply_gemm_stack,
     apply_matrix_stack,
     compile_operator,
 )
+from repro.linalg.reductions import row_norms_squared
 from repro.linalg.fusion import (
     expand_to_support,
     fuse_window_matrix,
@@ -40,8 +42,10 @@ __all__ = [
     "get_array_backend",
     "CompiledOperator",
     "apply_compiled_stack",
+    "apply_gemm_stack",
     "apply_matrix_stack",
     "compile_operator",
+    "row_norms_squared",
     "expand_to_support",
     "fuse_window_matrix",
     "window_support",

@@ -20,27 +20,44 @@ The kernel is split in two phases so the fusion compilation pipeline
 :func:`apply_matrix_stack` (the historical one-shot entry point) is simply
 ``apply_compiled_stack(stack, compile_operator(...), ...)``.
 
-For 1- and 2-qubit operators (every gate and channel in the library, and
-every fused window under the default ``Config.fusion_max_qubits = 2``) the
-target axes are exposed by pure ``reshape`` views of the C-contiguous
-stack — qubit ``q`` is axis ``q+1`` of ``(rows, 2, ..., 2)`` under the
-library's qubit-0-is-MSB convention, so splitting at the target qubits
-never copies.  Three tiers, cheapest first:
+For operators on up to three qubits (every gate and channel in the
+library — including the native ``ccx`` — and every fused window whose
+support fits three qubits) the target axes are exposed by pure
+``reshape`` views of the C-contiguous stack — qubit ``q`` is axis ``q+1``
+of ``(rows, 2, ..., 2)`` under the library's qubit-0-is-MSB convention,
+so splitting at the target qubits never copies, for contiguous and
+gapped target layouts alike.  Three tiers, cheapest first:
 
 * **scalar multiples of identity** (e.g. the dominant Kraus operator of
   any Pauli or depolarizing channel) mutate the stack in one in-place
   pass — or none at all for an exact identity;
-* **diagonal operators** (T, S, RZ, CZ, phase-type Kraus terms — and any
+* **diagonal operators** (T, S, RZ, CZ, ``ccz``-like phases — and any
   fused product of such operators, which stays diagonal) scale each basis
   slice in place;
 * **dense operators** run one slice accumulation
   ``out_i = sum_j m[i, j] * psi_j`` into a fresh buffer, skipping zero
-  entries — permutation-like operators (X, CX) reduce to slice copies.
+  entries — permutation-like operators (X, CX, CCX) reduce to slice
+  copies.
+
+For *fully dense* 3-qubit operators (fused window products, typically
+all 64 entries nonzero) slice accumulation would stream the stack once
+per matrix entry, so the k=3 dense tier switches to BLAS while keeping
+the view discipline: contiguous target triples are contracted by one
+``matmul`` directly on the reshaped view (no gather at all — the only
+allocation is the fresh output), and gapped triples run the gather +
+GEMM + scatter in bounded row blocks — the gather staged inside the
+output rows it will overwrite, the GEMM into one reusable block scratch
+— so the transient never exceeds a sixteenth of the stack.
 
 The per-element arithmetic never depends on the number of stacked rows,
 which is what makes stacked and row-by-row application bit-for-bit
-interchangeable.  Operators on three or more qubits fall back to a
-moveaxis + batched-GEMM kernel.
+interchangeable.  Operators on four or more qubits fall back to the
+moveaxis + batched-GEMM kernel (:func:`apply_gemm_stack`), whose
+transient peaks at ~3x the resident stack; keeping every k=3 path at
+~2x (fresh output, plus at most a sixteenth-stack scratch block) is
+what lets the sharded executor provision 2x workspace instead of 3x
+whenever no operator spans four qubits
+(:meth:`repro.execution.sharded.ShardedExecutor`).
 
 The kernel is array-module agnostic (the CuPy drop-in pattern of
 :mod:`repro.linalg.backend`): the stack may live on any ``xp`` namespace
@@ -62,8 +79,19 @@ __all__ = [
     "CompiledOperator",
     "compile_operator",
     "apply_compiled_stack",
+    "apply_gemm_stack",
     "apply_matrix_stack",
 ]
+
+#: Largest operator arity served by the reshape-view tiers; wider
+#: operators take the generic moveaxis+GEMM fallback.
+MAX_VIEW_QUBITS = 3
+
+#: Nonzero-entry threshold below which a dense 3-qubit operator runs the
+#: slice-accumulation kernel (<= 2 full-stack passes of traffic — the
+#: permutation-like regime, e.g. ccx with 8 nonzeros); denser matrices
+#: switch to the BLAS-backed k=3 paths, which beat 64 strided passes.
+_K3_SLICE_MAX_NNZ = 16
 
 
 class CompiledOperator:
@@ -72,9 +100,10 @@ class CompiledOperator:
     Attributes
     ----------
     matrix:
-        Host matrix, cast to the state dtype.  For 2-qubit operators with
-        descending targets the bit order is pre-canonicalized so
-        ``targets`` is always ascending on the fast paths.
+        Host matrix, cast to the state dtype.  For 2- and 3-qubit
+        operators with non-ascending targets the bit order is
+        pre-canonicalized so ``targets`` is always ascending on the fast
+        paths.
     targets:
         The (canonicalized) target qubits the matrix acts on.
     diag:
@@ -83,9 +112,22 @@ class CompiledOperator:
     scalar:
         The single scale factor when the operator is a scalar multiple of
         the identity (the cheapest tier), else ``None``.
+    nnz:
+        Nonzero entry count of the host matrix, precomputed so the k=3
+        dense tier can choose between slice accumulation
+        (permutation-like operators) and the BLAS paths without
+        re-inspecting the matrix per application.
     """
 
-    __slots__ = ("matrix", "targets", "diag", "scalar", "num_targets", "_on_module")
+    __slots__ = (
+        "matrix",
+        "targets",
+        "diag",
+        "scalar",
+        "num_targets",
+        "nnz",
+        "_on_module",
+    )
 
     def __init__(
         self,
@@ -99,12 +141,13 @@ class CompiledOperator:
         self.diag = diag
         self.scalar = scalar
         self.num_targets = len(targets)
+        self.nnz = int(np.count_nonzero(matrix))
         self._on_module = None  # (xp, device array) memo for the GEMM path
 
     def matrix_on(self, xp: Any) -> Any:
         """The matrix on array module ``xp`` (transferred once, memoized).
 
-        Only the generic k>=3 GEMM path consumes the matrix as a device
+        Only the generic k>=4 GEMM path consumes the matrix as a device
         array; the reshape-view tiers read host entries element-wise.
         Compiled operators are long-lived plan members, so paying the
         host-to-device copy per application would undo the amortization
@@ -144,16 +187,22 @@ def compile_operator(
     targets = tuple(targets)
     k = len(targets)
     m = as_host(matrix).astype(dtype, copy=False)
-    if k == 2 and targets[0] > targets[1]:
-        # Targets were given high-to-low: swap the matrix bit order so the
-        # reshape-view kernel always sees ascending targets.
+    if 2 <= k <= MAX_VIEW_QUBITS and any(
+        targets[i] > targets[i + 1] for i in range(k - 1)
+    ):
+        # Targets were given out of ascending order: permute the matrix
+        # bit order so the reshape-view kernels always see ascending
+        # targets.  New operator bit j takes old bit order[j], applied to
+        # row and column axes alike.
+        order = tuple(int(i) for i in np.argsort(targets, kind="stable"))
+        axes = order + tuple(k + i for i in order)
         m = np.ascontiguousarray(
-            m.reshape(2, 2, 2, 2).transpose(1, 0, 3, 2).reshape(4, 4)
+            m.reshape((2,) * (2 * k)).transpose(axes).reshape(2**k, 2**k)
         )
-        targets = (targets[1], targets[0])
+        targets = tuple(sorted(targets))
     diag: Optional[np.ndarray] = None
     scalar: Optional[complex] = None
-    if k <= 2:
+    if k <= MAX_VIEW_QUBITS:
         d = np.diagonal(m)
         if np.count_nonzero(m) == np.count_nonzero(d):
             diag = d
@@ -216,7 +265,7 @@ def apply_compiled_stack(
     k = op.num_targets
     if op.scalar is not None:
         # Scalar multiple of identity: one pass (or none).  Only compiled
-        # for k <= 2 operators (wider windows always take the GEMM path).
+        # for k <= 3 operators (wider windows always take the GEMM path).
         if op.scalar != 1:
             stack *= op.scalar
         return stack
@@ -241,7 +290,115 @@ def apply_compiled_stack(
         out_slices = [out[:, j, :, l] for j in range(2) for l in range(2)]
         _accumulate_slices(out_slices, in_slices, op.matrix, xp)
         return out.reshape(rows, dim)
-    # Generic k-qubit fallback: move target axes up front, one batched GEMM.
+    if k == 3:
+        # The k=3 view tier: fused 3-qubit windows and the native ccx
+        # never pay the whole-stack moveaxis+GEMM fallback, so peak
+        # memory stays ~2x the resident stack (a fresh output buffer,
+        # plus at most a sixteenth-stack scratch block for gapped dense
+        # operators) instead of the fallback's ~3x transient.
+        t1, t2, t3 = op.targets  # ascending after compilation
+        if op.diag is not None or op.nnz <= _K3_SLICE_MAX_NNZ:
+            # Split the stack at all three target qubits (any gap layout)
+            # with one pure reshape; diagonal operators scale in place,
+            # permutation-like ones reduce to a few slice copies.
+            view = stack.reshape(
+                rows * (1 << t1),
+                2,
+                1 << (t2 - t1 - 1),
+                2,
+                1 << (t3 - t2 - 1),
+                2,
+                -1,
+            )
+            in_slices = [
+                view[:, a, :, b, :, c]
+                for a in range(2)
+                for b in range(2)
+                for c in range(2)
+            ]
+            if op.diag is not None:
+                _scale_slices_inplace(in_slices, op.diag)
+                return stack
+            out = xp.empty_like(view)
+            out_slices = [
+                out[:, a, :, b, :, c]
+                for a in range(2)
+                for b in range(2)
+                for c in range(2)
+            ]
+            _accumulate_slices(out_slices, in_slices, op.matrix, xp)
+            return out.reshape(rows, dim)
+        if t2 == t1 + 1 and t3 == t2 + 1:
+            # Contiguous target triple: the three qubits already form one
+            # axis of size 8 under a pure reshape — a single matmul with
+            # no gather; the only allocation is the output.
+            if t3 == num_qubits - 1:
+                # The triple sits at the least-significant end: the 8-axis
+                # is innermost, so one flat (R, 8) @ (8, 8)^T GEMM covers
+                # the whole stack (out[r, i] = sum_j U[i, j] v[r, j]).
+                view = stack.reshape(-1, 8)
+                out = xp.matmul(view, op.matrix_on(xp).T)
+                return out.reshape(rows, dim)
+            view = stack.reshape(rows * (1 << t1), 8, -1)
+            out = xp.matmul(op.matrix_on(xp), view)
+            return out.reshape(rows, dim)
+        return _apply_k3_blocked_gemm(stack, op, num_qubits, xp)
+    return apply_gemm_stack(stack, op, num_qubits, xp)
+
+
+def _apply_k3_blocked_gemm(
+    stack: Any, op: CompiledOperator, num_qubits: int, xp: Any
+) -> Any:
+    """Gapped dense 3-qubit operators: gather + GEMM + scatter in blocks.
+
+    Same arithmetic as :func:`apply_gemm_stack` (each row is one
+    independent ``(8, 8) @ (8, 2**n / 8)`` product, so per-row results are
+    bitwise identical to the whole-stack call — asserted in
+    ``tests/test_kernel_tiers.py``), but the transient is bounded: the
+    gather for each row block is staged *inside the corresponding rows of
+    the preallocated output* (free real estate until the scatter
+    overwrites them), and the GEMM result goes to one reusable
+    block-sized scratch buffer.  Peak memory is the output (~1x the
+    stack) plus a single ``rows // 16`` scratch block — ~2x + 1/16,
+    versus the whole-stack fallback's ~3x.
+    """
+    rows, dim = stack.shape
+    targets = [t + 1 for t in op.targets]
+    matrix = op.matrix_on(xp)
+    out = xp.empty_like(stack)
+    src = stack.reshape((rows,) + (2,) * num_qubits)
+    dst = out.reshape((rows,) + (2,) * num_qubits)
+    block = max(1, rows // 16)
+    scratch = xp.empty((block, 8, dim // 8), dtype=stack.dtype)
+    for start in range(0, rows, block):
+        blk = src[start : start + block]
+        b = blk.shape[0]
+        psi = xp.moveaxis(blk, targets, (1, 2, 3))
+        # Gather (the ascontiguousarray of the whole-stack path) lands in
+        # the output rows this block will overwrite anyway.
+        gathered = out[start : start + b].reshape(psi.shape)
+        gathered[...] = psi
+        res = xp.matmul(matrix, gathered.reshape(b, 8, -1), out=scratch[:b])
+        dst[start : start + b] = xp.moveaxis(res.reshape(psi.shape), (1, 2, 3), targets)
+    return out
+
+
+def apply_gemm_stack(
+    stack: Any, op: CompiledOperator, num_qubits: int, xp: Optional[Any] = None
+) -> Any:
+    """Generic k-qubit fallback: move target axes up front, one batched GEMM.
+
+    The tier behind every operator wider than :data:`MAX_VIEW_QUBITS`.
+    Exposed separately so the kernel benchmarks and tier tests can pit the
+    reshape-view paths against it directly.  Peak memory is ~3x the stack
+    (resident stack + contiguous gathered input + GEMM output), which is
+    why the sharded executor provisions extra workspace whenever a plan
+    can reach this tier.
+    """
+    if xp is None:
+        xp = np
+    rows, dim = stack.shape
+    k = op.num_targets
     psi = stack.reshape((rows,) + (2,) * num_qubits)
     psi = xp.moveaxis(psi, [t + 1 for t in op.targets], range(1, k + 1))
     shape_after = psi.shape

@@ -104,6 +104,34 @@ class ArrayBackend:
             return self.xp.asnumpy(array)
         return np.asarray(array)
 
+    def to_host_pinned(self, array: Any) -> np.ndarray:
+        """Device->host transfer staged through pinned (page-locked) memory.
+
+        Identical in value to :meth:`to_host`, and a literal no-op under
+        NumPy.  Under CuPy the destination buffer is allocated from
+        page-locked host memory, which lets the copy run as a DMA transfer
+        instead of a pageable-memory staging copy — the transfer pattern
+        the shot-index boundary of the sampling hot path wants (the
+        ``(m,)`` index vector of every bulk sample crosses here).  Falls
+        back to :meth:`to_host` if the device runtime cannot allocate
+        pinned memory (e.g. exhausted page-locked quota).
+        """
+        if not self.is_device:
+            return np.asarray(array)
+        xp = self.xp
+        array = xp.ascontiguousarray(array)
+        if array.nbytes == 0:
+            return np.empty(array.shape, dtype=array.dtype)
+        try:
+            mem = xp.cuda.alloc_pinned_memory(array.nbytes)
+        except Exception:
+            return self.to_host(array)
+        out = np.frombuffer(mem, dtype=array.dtype, count=array.size).reshape(
+            array.shape
+        )
+        array.get(out=out)
+        return out
+
     def __repr__(self) -> str:
         return f"ArrayBackend({self.name!r})"
 

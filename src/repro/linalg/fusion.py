@@ -29,7 +29,13 @@ __all__ = ["expand_to_support", "fuse_window_matrix", "window_support"]
 
 
 def window_support(qubit_groups: Sequence[Sequence[int]]) -> Tuple[int, ...]:
-    """Sorted union of the qubit tuples of a window's operators."""
+    """Sorted union of the qubit tuples of a window's operators.
+
+    Sorted is load-bearing: fused window matrices are always built on
+    ascending support, so compiled window operators land on the
+    reshape-view kernel tiers of :mod:`repro.linalg.apply` (which serve
+    ascending targets up to 3 qubits) without a canonicalization step.
+    """
     support = set()
     for qubits in qubit_groups:
         support.update(qubits)

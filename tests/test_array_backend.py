@@ -72,6 +72,36 @@ class TestHostTransfer:
         assert as_host(arr) is arr or np.array_equal(as_host(arr), arr)
 
 
+class TestPinnedStaging:
+    """to_host_pinned: the shot-index transfer helper (no-op under NumPy)."""
+
+    def test_numpy_path_is_identity_with_to_host(self):
+        arr = np.arange(17, dtype=np.int64)
+        pinned = NUMPY_BACKEND.to_host_pinned(arr)
+        plain = NUMPY_BACKEND.to_host(arr)
+        assert isinstance(pinned, np.ndarray)
+        np.testing.assert_array_equal(pinned, plain)
+        # Identity semantics: the NumPy path must not copy.
+        assert pinned is arr or pinned.base is arr
+
+    def test_empty_array(self):
+        out = NUMPY_BACKEND.to_host_pinned(np.empty((0,), dtype=np.int64))
+        assert out.shape == (0,) and out.dtype == np.int64
+
+    def test_preserves_shape_and_dtype(self):
+        arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+        out = NUMPY_BACKEND.to_host_pinned(arr)
+        assert out.shape == (3, 4) and out.dtype == np.float32
+
+    @pytest.mark.skipif(not cupy_available(), reason="needs CuPy")
+    def test_cupy_path_values_match_to_host(self):
+        ab = get_array_backend("cupy")
+        device = ab.asarray(np.arange(1000, dtype=np.int64))
+        pinned = ab.to_host_pinned(device)
+        np.testing.assert_array_equal(pinned, ab.to_host(device))
+        assert isinstance(pinned, np.ndarray)
+
+
 class TestKernelParity:
     """Explicit xp= must be a pure pass-through on the NumPy path."""
 

@@ -211,6 +211,110 @@ class TestFusedPlanStructure:
             step.key_for({step.site_ids[0]: 99})
 
 
+class TestWidthAwareAutoCap:
+    """Config.fusion_max_qubits=None resolves the window cap per width."""
+
+    def test_default_is_auto_resolved(self):
+        assert Config().fusion_max_qubits is None
+
+    def test_narrow_circuits_resolve_to_three(self):
+        cfg = Config()
+        for width in (1, 2, 5, 11):
+            assert cfg.resolved_fusion_max_qubits(width) == 3
+
+    def test_wide_circuits_resolve_to_four(self):
+        cfg = Config()
+        for width in (12, 18, 26):
+            assert cfg.resolved_fusion_max_qubits(width) == 4
+
+    def test_explicit_knob_always_overrides(self):
+        cfg = Config(fusion_max_qubits=2)
+        assert cfg.resolved_fusion_max_qubits(4) == 2
+        assert cfg.resolved_fusion_max_qubits(20) == 2
+
+    def test_plan_records_resolved_cap(self):
+        from repro.channels import NoiseModel, depolarizing
+
+        def noisy_line(width):
+            circ = Circuit(width)
+            for q in range(width):
+                circ.h(q)
+            circ.measure_all()
+            model = NoiseModel().add_all_qubit_gate_noise("h", depolarizing(0.01))
+            return model.apply(circ).freeze()
+
+        narrow = build_fused_plan(noisy_line(4), Config(fusion="auto"))
+        assert narrow.fusion_max_qubits == 3
+        wide = build_fused_plan(noisy_line(12), Config(fusion="auto"))
+        assert wide.fusion_max_qubits == 4
+        pinned = build_fused_plan(
+            noisy_line(12), Config(fusion="auto", fusion_max_qubits=3)
+        )
+        assert pinned.fusion_max_qubits == 3
+
+    def test_wide_cap_actually_produces_wider_windows(self):
+        """On a 12-qubit brickwork layer the auto cap of 4 must compress
+        the plan further than an explicit cap of 3."""
+        from repro.channels import NoiseModel, two_qubit_depolarizing
+
+        circ = Circuit(12)
+        for q in range(12):
+            circ.h(q)
+        for q in range(0, 11, 2):
+            circ.cx(q, q + 1)
+        for q in range(1, 10, 2):
+            circ.cx(q, q + 1)
+        circ.measure_all()
+        model = NoiseModel().add_all_qubit_gate_noise(
+            "cx", two_qubit_depolarizing(0.01)
+        )
+        frozen = model.apply(circ).freeze()
+        auto = build_fused_plan(frozen, Config(fusion="auto"))
+        capped3 = build_fused_plan(frozen, Config(fusion="auto", fusion_max_qubits=3))
+        assert auto.fusion_max_qubits == 4
+        assert auto.num_steps < capped3.num_steps
+
+    def test_plan_cache_keys_on_resolved_cap(self, noisy_ghz3):
+        clear_plan_cache()
+        default = get_fused_plan(noisy_ghz3, Config(fusion="auto"))
+        explicit3 = get_fused_plan(
+            noisy_ghz3, Config(fusion="auto", fusion_max_qubits=3)
+        )
+        # Same resolved cap on a narrow circuit -> the very same plan.
+        assert default is explicit3
+        explicit2 = get_fused_plan(
+            noisy_ghz3, Config(fusion="auto", fusion_max_qubits=2)
+        )
+        assert explicit2 is not default
+
+    def test_auto_cap_keeps_strategies_bitwise(self):
+        """Across the 12-qubit threshold (cap 4, GEMM-tier fused windows)
+        serial and vectorized must stay bitwise identical."""
+        from repro.channels import NoiseModel, two_qubit_depolarizing
+
+        circ = Circuit(12)
+        for q in range(12):
+            circ.h(q)
+        for q in range(0, 11, 2):
+            circ.cx(q, q + 1)
+        circ.measure_all()
+        model = NoiseModel().add_all_qubit_gate_noise(
+            "cx", two_qubit_depolarizing(0.02)
+        )
+        frozen = model.apply(circ).freeze()
+        specs = _pts_specs(frozen, 1, nsamples=60, nshots=80)
+        cfg = Config(fusion="auto")
+        serial = BatchedExecutor(BackendSpec.statevector(config=cfg)).execute(
+            frozen, specs, seed=3
+        )
+        vec = VectorizedExecutor(
+            BackendSpec.batched_statevector(config=cfg)
+        ).execute(frozen, specs, seed=3)
+        np.testing.assert_array_equal(
+            serial.shot_table().bits, vec.shot_table().bits
+        )
+
+
 @pytest.fixture(params=["noisy_ghz3", "noisy_ghz3_general", "mixed_noise_circuit"])
 def workload(request):
     return request.getfixturevalue(request.param)
@@ -245,6 +349,32 @@ class TestFusionEquivalence:
                 [t.actual_weight for t in serial.trajectories],
                 [t.actual_weight for t in other.trajectories],
             )
+
+    def test_four_strategies_bitwise_identical(self, fusion_config, noisy_ghz3):
+        """The full 4-strategy matrix (parallel included) on one workload:
+        every engine must emit the same bits under the new kernels."""
+        from repro.execution import ParallelExecutor
+
+        specs = _pts_specs(noisy_ghz3, 6, nsamples=150, nshots=200)
+        reference = BatchedExecutor(
+            BackendSpec.statevector(config=fusion_config)
+        ).execute(noisy_ghz3, specs, seed=17)
+        others = [
+            ParallelExecutor(
+                BackendSpec.statevector(config=fusion_config), num_workers=2
+            ),
+            VectorizedExecutor(
+                BackendSpec.batched_statevector(config=fusion_config)
+            ),
+            ShardedExecutor(
+                BackendSpec.batched_statevector(config=fusion_config), devices=2
+            ),
+        ]
+        a = reference.shot_table()
+        for executor in others:
+            b = executor.execute(noisy_ghz3, specs, seed=17).shot_table()
+            np.testing.assert_array_equal(a.bits, b.bits)
+            np.testing.assert_array_equal(a.trajectory_ids, b.trajectory_ids)
 
     def test_fused_matches_unfused_to_float_accuracy(self, workload):
         specs = _pts_specs(workload, 5)

@@ -1,0 +1,252 @@
+"""Dense kernel tiers: the k=3 reshape-view path and the shared norm reduction."""
+
+import numpy as np
+import pytest
+
+import repro.linalg.apply as apply_mod
+from repro.backends.batched_statevector import BatchedStatevectorBackend
+from repro.backends.statevector import StatevectorBackend
+from repro.linalg import (
+    apply_compiled_stack,
+    apply_gemm_stack,
+    apply_matrix_stack,
+    compile_operator,
+    embed_operator,
+    random_unitary,
+    row_norms_squared,
+)
+
+DTYPE = np.dtype(np.complex128)
+
+#: Every 3-qubit layout class on a 6-qubit register: contiguous at both
+#: edges, single gap, double gap, full spread — plus non-ascending orders
+#: that must canonicalize.
+K3_LAYOUTS = [
+    (0, 1, 2),
+    (3, 4, 5),
+    (1, 2, 3),
+    (0, 2, 4),
+    (0, 3, 5),
+    (1, 3, 5),
+    (0, 1, 5),
+    (2, 0, 5),
+    (5, 3, 1),
+    (4, 0, 2),
+]
+
+
+def _random_stack(rows, num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    stack = rng.normal(size=(rows, 2**num_qubits)) + 1j * rng.normal(
+        size=(rows, 2**num_qubits)
+    )
+    return np.ascontiguousarray(stack.astype(DTYPE))
+
+
+class TestK3ViewTier:
+    """The dedicated 3-qubit reshape-view path vs. the GEMM fallback."""
+
+    @pytest.mark.parametrize("targets", K3_LAYOUTS)
+    def test_matches_dense_reference_and_gemm(self, targets):
+        rng = np.random.default_rng(hash(targets) % 2**32)
+        u = random_unitary(8, rng)
+        stack = _random_stack(3, 6, 11)
+        op = compile_operator(u, targets, DTYPE)
+        assert op.targets == tuple(sorted(targets))
+        out_view = apply_compiled_stack(stack.copy(), op, 6)
+        out_gemm = apply_gemm_stack(stack.copy(), op, 6)
+        reference = (embed_operator(u, list(targets), 6) @ stack.T).T
+        np.testing.assert_allclose(out_view, reference, atol=1e-12)
+        np.testing.assert_allclose(out_gemm, reference, atol=1e-12)
+
+    @pytest.mark.parametrize("targets", [(0, 1, 2), (1, 3, 5), (4, 2, 0)])
+    def test_adjoint_roundtrip(self, targets):
+        rng = np.random.default_rng(3)
+        u = random_unitary(8, rng)
+        stack = _random_stack(2, 6, 5)
+        forward = compile_operator(u, targets, DTYPE)
+        backward = compile_operator(u.conj().T, targets, DTYPE)
+        roundtrip = apply_compiled_stack(
+            apply_compiled_stack(stack.copy(), forward, 6), backward, 6
+        )
+        np.testing.assert_allclose(roundtrip, stack, atol=1e-12)
+
+    def test_k3_never_reaches_gemm(self, monkeypatch):
+        """Structural guarantee: 3-qubit operators stay on the view tier."""
+
+        def boom(*args, **kwargs):
+            raise AssertionError("k=3 operator fell through to the GEMM path")
+
+        monkeypatch.setattr(apply_mod, "apply_gemm_stack", boom)
+        u = random_unitary(8, np.random.default_rng(7))
+        apply_matrix_stack(_random_stack(2, 5, 1), u, (0, 2, 4), 5, DTYPE)
+        from repro.circuits.gates import CCX
+
+        apply_matrix_stack(_random_stack(2, 4, 2), CCX.matrix, (1, 2, 3), 4, DTYPE)
+
+    def test_k4_still_takes_gemm(self, monkeypatch):
+        calls = []
+        original = apply_mod.apply_gemm_stack
+        monkeypatch.setattr(
+            apply_mod,
+            "apply_gemm_stack",
+            lambda *a, **k: calls.append(1) or original(*a, **k),
+        )
+        u = random_unitary(16, np.random.default_rng(9))
+        apply_matrix_stack(_random_stack(2, 5, 3), u, (0, 1, 3, 4), 5, DTYPE)
+        assert calls, "4-qubit operator should use the GEMM fallback"
+
+    def test_ccx_is_dense_slice_copy_tier(self):
+        from repro.circuits.gates import CCX
+
+        op = compile_operator(CCX.matrix, (0, 1, 2), DTYPE)
+        assert op.tier == "dense"
+        stack = _random_stack(2, 3, 4)
+        out = apply_compiled_stack(stack.copy(), op, 3)
+        reference = (CCX.matrix @ stack.T).T
+        np.testing.assert_allclose(out, reference, atol=1e-14)
+
+    def test_k3_diagonal_applies_in_place(self):
+        """A 3-qubit diagonal (ccz-like phase) must hit the in-place tier."""
+        diag = np.diag(np.exp(1j * np.linspace(0.1, 0.9, 8)))
+        op = compile_operator(diag, (1, 3, 5), DTYPE)
+        assert op.tier == "diagonal"
+        stack = _random_stack(2, 6, 6)
+        expected = (embed_operator(diag, [1, 3, 5], 6) @ stack.T).T
+        out = apply_compiled_stack(stack, op, 6)
+        assert out is stack  # mutated in place, no fresh buffer
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_k3_scalar_identity_tier(self):
+        op = compile_operator(0.5 * np.eye(8), (0, 1, 2), DTYPE)
+        assert op.tier == "scalar"
+        ident = compile_operator(np.eye(8), (2, 3, 4), DTYPE)
+        assert ident.tier == "identity"
+
+    @pytest.mark.parametrize("targets", [(0, 2, 4), (1, 3, 5), (0, 2, 5)])
+    def test_gapped_dense_blocked_gemm_bitwise_matches_gemm(self, targets):
+        """The blocked gapped-dense path must stay *bitwise* (not just
+        allclose) interchangeable with apply_gemm_stack — the maintenance
+        invariant behind its 'same arithmetic' claim."""
+        u = random_unitary(8, np.random.default_rng(31))
+        op = compile_operator(u, targets, DTYPE)
+        assert op.diag is None and op.nnz > 16  # must exercise the blocked path
+        for rows in (1, 5, 33):
+            stack = _random_stack(rows, 6, rows)
+            np.testing.assert_array_equal(
+                apply_compiled_stack(stack.copy(), op, 6),
+                apply_gemm_stack(stack.copy(), op, 6),
+            )
+
+    def test_noncontiguous_layout_row_by_row_matches_stacked(self):
+        """Stacked and row-by-row application stay bitwise interchangeable
+        on the new tier (the property the batched backend relies on)."""
+        u = random_unitary(8, np.random.default_rng(12))
+        stack = _random_stack(5, 6, 13)
+        op = compile_operator(u, (0, 2, 5), DTYPE)
+        stacked = apply_compiled_stack(stack.copy(), op, 6)
+        for row in range(5):
+            single = apply_compiled_stack(
+                np.ascontiguousarray(stack[row : row + 1]), op, 6
+            )
+            np.testing.assert_array_equal(stacked[row], single[0])
+
+
+class TestRowNormsSquared:
+    """The shared serial/stacked renormalization reduction."""
+
+    def test_rowwise_bitwise_identical_to_single_row(self):
+        stack = _random_stack(9, 7, 21)
+        full = row_norms_squared(stack)
+        for i in range(9):
+            single = row_norms_squared(np.ascontiguousarray(stack[i : i + 1]))
+            assert full[i] == single[0]  # bitwise, not approx
+
+    def test_serial_backend_norm_is_the_shared_reduction(self):
+        sv = StatevectorBackend(4)
+        rng = np.random.default_rng(2)
+        state = rng.normal(size=16) + 1j * rng.normal(size=16)
+        sv.set_statevector(state, normalize=True)
+        expected = float(
+            row_norms_squared(
+                np.ascontiguousarray(sv.array_backend.to_host(sv.statevector)).reshape(
+                    1, -1
+                )
+            )[0]
+        )
+        assert sv.norm_squared() == expected
+
+    def test_stacked_norms_match_serial_bitwise(self, noisy_ghz3):
+        choices_list = [{}, {0: 1}, {1: 2}]
+        stacked = BatchedStatevectorBackend(3)
+        weights, alive = stacked.run_fixed_stack(noisy_ghz3, choices_list)
+        assert alive.all()
+        for row, choices in enumerate(choices_list):
+            serial = StatevectorBackend(3)
+            w = serial.run_fixed(noisy_ghz3, choices)
+            assert weights[row] == w  # bitwise weight identity
+            np.testing.assert_array_equal(
+                stacked.array_backend.to_host(stacked.statevector(row)),
+                serial.array_backend.to_host(serial.statevector),
+            )
+        norms = stacked.norms_squared()
+        assert norms.shape == (3,)
+        for row in range(3):
+            assert norms[row] == float(
+                row_norms_squared(
+                    np.ascontiguousarray(
+                        stacked.array_backend.to_host(stacked.statevector(row))
+                    ).reshape(1, -1)
+                )[0]
+            )
+
+    def test_requires_2d_contiguous(self):
+        stack = _random_stack(4, 3, 1)
+        with pytest.raises(ValueError):
+            row_norms_squared(stack[:, ::2])
+        with pytest.raises(ValueError):
+            row_norms_squared(stack.reshape(-1))
+
+    def test_renorm_seconds_counters_accumulate(self, noisy_ghz3):
+        serial = StatevectorBackend(3)
+        assert serial.renorm_seconds == 0.0
+        serial.run_fixed(noisy_ghz3, {})
+        assert serial.renorm_seconds > 0.0
+        stacked = BatchedStatevectorBackend(3)
+        assert stacked.renorm_seconds == 0.0
+        stacked.run_fixed_stack(noisy_ghz3, [{}, {0: 1}])
+        assert stacked.renorm_seconds > 0.0
+
+    def test_complex64_serial_stacked_bitwise(self, noisy_ghz3):
+        """The divisor arithmetic is shared at any state dtype: under the
+        paper's complex64 the serial scalar path and the stacked array
+        path must still produce bitwise-identical states (regression —
+        a float64-scalar vs float32-array divisor once diverged here)."""
+        from repro.config import Config
+
+        cfg = Config(dtype=np.dtype(np.complex64))
+        choices_list = [{}, {0: 1}]
+        stacked = BatchedStatevectorBackend(3, config=cfg)
+        weights, alive = stacked.run_fixed_stack(noisy_ghz3, choices_list)
+        assert alive.all()
+        for row, choices in enumerate(choices_list):
+            serial = StatevectorBackend(3, config=cfg)
+            w = serial.run_fixed(noisy_ghz3, choices)
+            assert weights[row] == w
+            np.testing.assert_array_equal(
+                stacked.array_backend.to_host(stacked.statevector(row)),
+                serial.array_backend.to_host(serial.statevector),
+            )
+
+    def test_dead_rows_still_detected_with_batched_renorm(self):
+        from repro.channels.standard import amplitude_damping
+        from repro.circuits import Circuit
+
+        circ = Circuit(1).attach(amplitude_damping(0.1), 0).measure_all().freeze()
+        stacked = BatchedStatevectorBackend(1)
+        weights, alive = stacked.run_fixed_stack(circ, [{0: 1}, {}])
+        assert not alive[0] and alive[1]
+        assert weights[0] == 0.0 and weights[1] > 0.0
+        np.testing.assert_array_equal(
+            stacked.array_backend.to_host(stacked.statevector(0)), [0.0, 0.0]
+        )

@@ -138,8 +138,8 @@ class TestPerDeviceSizing:
     def test_memory_limited_device_still_bitwise(self, noisy_ghz3):
         specs = _pts_specs(noisy_ghz3, 3)
         serial = BatchedExecutor().execute(noisy_ghz3, specs, seed=6)
-        # Room for one complex128 row of a 3-qubit state after the 3x
-        # fused-GEMM workspace headroom (384 // (3 * 128) == 1).
+        # Room for one complex128 row of a 3-qubit state after the 2x
+        # reshape-view workspace headroom (384 // (2 * 128) == 1).
         tiny = [Device(0, memory_bytes=3 * 8 * 16, name="tiny")]
         sharded = ShardedExecutor(devices=tiny).execute(noisy_ghz3, specs, seed=6)
         np.testing.assert_array_equal(
@@ -153,32 +153,49 @@ class TestPerDeviceSizing:
                 noisy_ghz3, [_spec(0, 10)], seed=0
             )
 
-    def test_workspace_accounts_for_fused_gemm_transient(self, noisy_ghz3):
-        """Regression: the pre-fusion 2x factor under-provisioned fused
-        k>=3 windows, whose moveaxis+GEMM path peaks at ~3x the stack."""
+    def test_workspace_accounts_for_fused_gemm_transient(self):
+        """Regression both ways: only k>=4 operators reach the
+        moveaxis+GEMM path (~3x transient) now that 3-qubit windows run
+        the dedicated k=3 reshape-view tier (~2x, a fresh output buffer).
+        """
         from repro.config import Config
         from repro.devices.memory import statevector_bytes
 
-        bytes_per_row = statevector_bytes(3, dtype=np.complex128)
-        # Holds one row at the unfused 2x headroom, but not the fused 3x.
+        circ = Circuit(4)
+        for q in range(4):
+            circ.h(q)
+        circ.cx(0, 1).cx(2, 3).cx(1, 2).measure_all()
+        circ = (
+            NoiseModel()
+            .add_all_qubit_gate_noise("cx", two_qubit_depolarizing(0.02))
+            .apply(circ)
+            .freeze()
+        )
+        bytes_per_row = statevector_bytes(4, dtype=np.complex128)
+        # Holds one row at the reshape-view 2x headroom, not the GEMM 3x.
         borderline = [Device(0, memory_bytes=2 * bytes_per_row, name="borderline")]
-        fused = ShardedExecutor(
+        # A window cap of 4 can produce k=4 fused operators: GEMM tier,
+        # 3x headroom required -> the 2x device must refuse up front.
+        wide = ShardedExecutor(
             BackendSpec.batched_statevector(
-                config=Config(fusion="auto", fusion_max_qubits=3)
+                config=Config(fusion="auto", fusion_max_qubits=4)
             ),
             devices=borderline,
         )
         with pytest.raises(CapacityError, match="borderline"):
-            fused.execute(noisy_ghz3, [_spec(0, 10)], seed=0)
-        # With fusion off (or windows capped at 2 qubits) every kernel on
-        # this <=2-qubit workload is a reshape-view pass: the 2x budget
-        # suffices and the run succeeds.
-        for config in (Config(fusion="off"), Config(fusion="auto", fusion_max_qubits=2)):
-            unfused = ShardedExecutor(
+            wide.execute(circ, [_spec(0, 10)], seed=0)
+        # Capped at 3 (or unfused, or capped at 2) every operator fits the
+        # reshape-view tiers: the 2x budget suffices and the run succeeds.
+        for config in (
+            Config(fusion="auto", fusion_max_qubits=3),
+            Config(fusion="auto", fusion_max_qubits=2),
+            Config(fusion="off"),
+        ):
+            narrow = ShardedExecutor(
                 BackendSpec.batched_statevector(config=config),
                 devices=borderline,
             )
-            result = unfused.execute(noisy_ghz3, _pts_specs(noisy_ghz3, 3), seed=6)
+            result = narrow.execute(circ, _pts_specs(circ, 3), seed=6)
             assert result.total_shots > 0
 
     def test_workspace_factor_clamped_to_circuit_width(self):
@@ -211,8 +228,39 @@ class TestPerDeviceSizing:
         assert result.total_shots == 25
 
     def test_workspace_accounts_for_native_wide_gates(self):
-        """A native >=3-qubit gate hits the GEMM path even with fusion off,
+        """A native >=4-qubit gate hits the GEMM path even with fusion off,
         so the 3x headroom must apply regardless of the fusion config."""
+        from repro.circuits.gates import CCX, controlled
+        from repro.config import Config
+        from repro.devices.memory import statevector_bytes
+
+        cccx = controlled(CCX)  # 4-qubit gate: only the GEMM tier serves it
+        circ = Circuit(4).h(0).gate(cccx, 0, 1, 2, 3).measure_all()
+        circ = (
+            NoiseModel()
+            .add_all_qubit_gate_noise("h", depolarizing(0.01))
+            .apply(circ)
+            .freeze()
+        )
+        # Fits one row at the 2x headroom, not at the 3x GEMM transient.
+        borderline = [
+            Device(
+                0,
+                memory_bytes=2 * statevector_bytes(4, dtype=np.complex128),
+                name="borderline",
+            )
+        ]
+        executor = ShardedExecutor(
+            BackendSpec.batched_statevector(config=Config(fusion="off")),
+            devices=borderline,
+        )
+        with pytest.raises(CapacityError, match="borderline"):
+            executor.execute(circ, [_spec(0, 10)], seed=0)
+
+    def test_native_ccx_runs_in_view_tier_workspace(self):
+        """Regression the other way: the native ccx used to be charged the
+        3x GEMM headroom; the k=3 view tier runs it in 2x, so a device
+        sized for exactly 2x one row must now succeed."""
         from repro.circuits.gates import CCX
         from repro.config import Config
         from repro.devices.memory import statevector_bytes
@@ -224,20 +272,20 @@ class TestPerDeviceSizing:
             .apply(circ)
             .freeze()
         )
-        # Fits one row at the 2x headroom, not at the 3x GEMM transient.
-        borderline = [
+        snug = [
             Device(
                 0,
                 memory_bytes=2 * statevector_bytes(3, dtype=np.complex128),
-                name="borderline",
+                name="snug",
             )
         ]
-        executor = ShardedExecutor(
-            BackendSpec.batched_statevector(config=Config(fusion="off")),
-            devices=borderline,
-        )
-        with pytest.raises(CapacityError, match="borderline"):
-            executor.execute(circ, [_spec(0, 10)], seed=0)
+        for config in (Config(fusion="off"), Config(fusion="auto")):
+            executor = ShardedExecutor(
+                BackendSpec.batched_statevector(config=config),
+                devices=snug,
+            )
+            result = executor.execute(circ, [_spec(0, 25)], seed=1)
+            assert result.total_shots == 25
 
     def test_heterogeneous_pool(self, noisy_ghz3):
         specs = _pts_specs(noisy_ghz3, 5)
@@ -249,6 +297,75 @@ class TestPerDeviceSizing:
         sharded = ShardedExecutor(devices=pool).execute(noisy_ghz3, specs, seed=4)
         np.testing.assert_array_equal(
             serial.shot_table().bits, sharded.shot_table().bits
+        )
+
+
+class TestMeasuredCostFeedback:
+    """Config-gated refinement of the scheduler's cost constants."""
+
+    def test_observed_timings_populate_after_a_run(self, noisy_ghz3):
+        from repro.config import Config
+
+        executor = ShardedExecutor(
+            BackendSpec.batched_statevector(
+                config=Config(measured_cost_feedback=True)
+            ),
+            devices=2,
+        )
+        assert executor.observed_timings() is None
+        executor.execute(noisy_ghz3, _pts_specs(noisy_ghz3, 2), seed=1)
+        measured = executor.observed_timings()
+        assert measured is not None
+        assert measured.prep_seconds > 0.0
+        assert measured.shot_seconds > 0.0
+        # The laptop-scale run is orders of magnitude cheaper than the
+        # paper-calibrated 2 s/prep constant the analytic model assumes.
+        assert measured.prep_seconds < executor.timings.prep_seconds
+
+    def test_cost_function_switches_only_when_gated(self, noisy_ghz3):
+        from repro.config import Config
+        from repro.pts import deduplicate_specs
+
+        specs = _pts_specs(noisy_ghz3, 2)
+        group = deduplicate_specs(specs)[0]
+        gated = ShardedExecutor(
+            BackendSpec.batched_statevector(
+                config=Config(measured_cost_feedback=True)
+            ),
+            devices=2,
+        )
+        ungated = ShardedExecutor(
+            BackendSpec.batched_statevector(config=Config()), devices=2
+        )
+        analytic = ungated._group_cost(group)
+        assert gated._group_cost(group) == analytic  # no data yet
+        for executor in (gated, ungated):
+            executor.execute(noisy_ghz3, specs, seed=2)
+        # Gated executor now bins by its measured constants...
+        assert gated._group_cost(group) != analytic
+        assert gated._group_cost(group) == pytest.approx(
+            gated.observed_timings().prep_seconds
+            + group.total_shots * gated.observed_timings().shot_seconds
+        )
+        # ...while the ungated one sticks to the analytic perf model.
+        assert ungated._group_cost(group) == analytic
+
+    def test_feedback_run_stays_bitwise_identical(self, noisy_ghz3):
+        from repro.config import Config
+
+        specs = _pts_specs(noisy_ghz3, 5)
+        serial = BatchedExecutor().execute(noisy_ghz3, specs, seed=4)
+        executor = ShardedExecutor(
+            BackendSpec.batched_statevector(
+                config=Config(measured_cost_feedback=True)
+            ),
+            devices=3,
+        )
+        # Warm-up run records costs; the second run schedules from them.
+        executor.execute(noisy_ghz3, specs, seed=4)
+        refined = executor.execute(noisy_ghz3, specs, seed=4)
+        np.testing.assert_array_equal(
+            serial.shot_table().bits, refined.shot_table().bits
         )
 
 

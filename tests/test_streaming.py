@@ -344,6 +344,58 @@ class TestAbandonment:
         _assert_no_child_processes()
 
 
+class TestRetention:
+    """retain=False: pure-ingest streams drop chunks after delivery."""
+
+    @pytest.mark.parametrize("strategy", ["serial", "vectorized", "sharded"])
+    def test_chunks_identical_but_nothing_retained(self, brickwork, strategy):
+        specs = _pts_specs(brickwork, 4)
+        executor = _executor(strategy, "auto")
+        retained = list(executor.execute_stream(brickwork, specs, seed=5))
+        dropping = _executor(strategy, "auto").execute_stream(
+            brickwork, specs, seed=5, retain=False
+        )
+        assert dropping.retain is False
+        chunks = list(dropping)
+        assert len(chunks) == len(retained)
+        for a, b in zip(retained, chunks):
+            np.testing.assert_array_equal(a.shot_table().bits, b.shot_table().bits)
+        assert dropping.delivered_trajectories == len(specs)
+        # Nothing was kept behind the scenes.
+        assert dropping._collected == []
+
+    def test_finalize_unavailable(self, brickwork):
+        specs = _pts_specs(brickwork, 4)
+        stream = BatchedExecutor().execute_stream(
+            brickwork, specs, seed=6, retain=False
+        )
+        with pytest.raises(ExecutionError, match="retain=False"):
+            stream.finalize()
+        # Even after a full drain: the chunks are gone.
+        for _ in stream:
+            pass
+        assert stream.delivered_trajectories == len(specs)
+        with pytest.raises(ExecutionError, match="retain=False"):
+            stream.finalize()
+
+    def test_run_ptsbe_stream_threads_retain(self, brickwork):
+        sampler = ProbabilisticPTS(nsamples=80, nshots=100)
+        stream = run_ptsbe_stream(
+            brickwork, sampler, seed=7, strategy="vectorized", retain=False
+        )
+        total = sum(chunk.num_trajectories for chunk in stream)
+        assert total == stream.delivered_trajectories > 0
+        with pytest.raises(ExecutionError, match="retain=False"):
+            stream.finalize()
+
+    def test_default_still_retains(self, brickwork):
+        specs = _pts_specs(brickwork, 4)
+        stream = BatchedExecutor().execute_stream(brickwork, specs, seed=8)
+        assert stream.retain is True
+        result = stream.finalize()
+        assert result.total_shots > 0
+
+
 class TestStreamingPrimitives:
     def test_ordered_delivery_reorders(self):
         t = [object() for _ in range(4)]
