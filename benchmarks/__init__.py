@@ -1,0 +1,7 @@
+"""Standalone benchmark scripts + shared harness.
+
+A package so the entry points run as modules from the repo root
+(``python -m benchmarks.bench_sweep``) as well as directly as scripts
+(``python benchmarks/bench_sweep.py``); the scripts themselves keep both
+spellings working via a try/except on the ``_harness`` import.
+"""

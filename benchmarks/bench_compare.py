@@ -24,15 +24,25 @@ Absolute thresholds are machine-dependent — comparing numbers from
 different boxes needs a generous threshold (CI uses one as a smoke check
 against the committed laptop baseline), while same-machine trend tracking
 can afford 10-15%.
+
+Both positional arguments may also be *directories* (e.g. two sweep
+output trees full of per-cell documents): ``BENCH_*.json`` files are
+paired by filename, every pair compared as above, and the worst exit
+status wins.  Baseline-only or current-only files are reported; they only
+fail the run with ``--require-all``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
-from _harness import validate_file
+try:
+    from benchmarks._harness import validate_file
+except ImportError:  # direct script invocation: python benchmarks/bench_compare.py
+    from _harness import validate_file
 
 #: Columns never used for row identity: the compared metric is excluded
 #: explicitly; these are excluded always (wall-time duplicates the metric,
@@ -99,12 +109,106 @@ def format_key(key: Tuple) -> str:
     return " ".join(f"{k}={v}" for k, v in key)
 
 
+def compare_files(
+    baseline_path: str,
+    current_path: str,
+    metric: str,
+    threshold: float,
+    require_all: bool,
+) -> int:
+    """Compare one baseline/current document pair; prints the row report.
+
+    Returns the exit status for this pair: 0 clean, 1 regression (or
+    missing baseline rows with ``require_all``), 2 schema/usage error.
+    """
+    try:
+        baseline = validate_file(baseline_path)
+        current = validate_file(current_path)
+        report = compare_payloads(baseline, current, metric, threshold)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"benchmark {baseline['benchmark']!r}: {metric}, "
+        f"threshold {threshold:.0%} "
+        f"(baseline {baseline['array_module']}/py{baseline['python']}, "
+        f"current {current['array_module']}/py{current['python']})"
+    )
+    regressions = 0
+    for key, base, cur, ratio, regressed in report["matched"]:
+        status = "REGRESSED" if regressed else ("improved" if ratio > 1 else "ok")
+        print(f"  {status:>9}  {ratio:7.2%}  {base:12.4e} -> {cur:12.4e}  {format_key(key)}")
+        regressions += regressed
+    for key in report["missing"]:
+        print(f"  {'MISSING' if require_all else 'missing':>9}  baseline-only row: {format_key(key)}")
+    for key in report["extra"]:
+        print(f"  {'new':>9}  current-only row: {format_key(key)}")
+    if not report["matched"]:
+        print("error: no comparable rows", file=sys.stderr)
+        return 2
+    failed = regressions > 0 or (require_all and report["missing"])
+    print(
+        f"{len(report['matched'])} rows compared, {regressions} regressed, "
+        f"{len(report['missing'])} missing, {len(report['extra'])} new"
+    )
+    return 1 if failed else 0
+
+
+def _bench_files(directory: str) -> Dict[str, str]:
+    """``BENCH_*.json`` files in ``directory``, keyed by filename."""
+    return {
+        name: os.path.join(directory, name)
+        for name in sorted(os.listdir(directory))
+        if name.startswith("BENCH_") and name.endswith(".json")
+    }
+
+
+def compare_dirs(
+    baseline_dir: str,
+    current_dir: str,
+    metric: str,
+    threshold: float,
+    require_all: bool,
+) -> int:
+    """Pair ``BENCH_*.json`` files by filename and compare each pair."""
+    base_files = _bench_files(baseline_dir)
+    cur_files = _bench_files(current_dir)
+    common = sorted(set(base_files) & set(cur_files))
+    baseline_only = sorted(set(base_files) - set(cur_files))
+    current_only = sorted(set(cur_files) - set(base_files))
+    if not common:
+        print(
+            f"error: no BENCH_*.json filenames shared between "
+            f"{baseline_dir} and {current_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    worst = 0
+    for name in common:
+        print(f"== {name}")
+        worst = max(worst, compare_files(
+            base_files[name], cur_files[name], metric, threshold, require_all
+        ))
+    for name in baseline_only:
+        print(f"  {'MISSING' if require_all else 'missing':>9}  baseline-only file: {name}")
+    for name in current_only:
+        print(f"  {'new':>9}  current-only file: {name}")
+    if require_all and baseline_only:
+        worst = max(worst, 1)
+    print(
+        f"{len(common)} documents compared, {len(baseline_only)} baseline-only, "
+        f"{len(current_only)} current-only"
+    )
+    return worst
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Compare two BENCH_*.json documents; exit 1 on regression."
     )
-    parser.add_argument("baseline", metavar="BASELINE.json")
-    parser.add_argument("current", metavar="CURRENT.json")
+    parser.add_argument("baseline", metavar="BASELINE")
+    parser.add_argument("current", metavar="CURRENT")
     parser.add_argument(
         "--metric",
         default="shots_per_second",
@@ -125,38 +229,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if not (0.0 <= args.threshold < 1.0):
         parser.error(f"--threshold must be in [0, 1), got {args.threshold}")
-    try:
-        baseline = validate_file(args.baseline)
-        current = validate_file(args.current)
-        report = compare_payloads(baseline, current, args.metric, args.threshold)
-    except (OSError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    base_is_dir = os.path.isdir(args.baseline)
+    cur_is_dir = os.path.isdir(args.current)
+    if base_is_dir != cur_is_dir:
+        print(
+            "error: baseline and current must both be files or both be "
+            "directories",
+            file=sys.stderr,
+        )
         return 2
-
-    print(
-        f"benchmark {baseline['benchmark']!r}: {args.metric}, "
-        f"threshold {args.threshold:.0%} "
-        f"(baseline {baseline['array_module']}/py{baseline['python']}, "
-        f"current {current['array_module']}/py{current['python']})"
+    compare = compare_dirs if base_is_dir else compare_files
+    return compare(
+        args.baseline, args.current, args.metric, args.threshold, args.require_all
     )
-    regressions = 0
-    for key, base, cur, ratio, regressed in report["matched"]:
-        status = "REGRESSED" if regressed else ("improved" if ratio > 1 else "ok")
-        print(f"  {status:>9}  {ratio:7.2%}  {base:12.4e} -> {cur:12.4e}  {format_key(key)}")
-        regressions += regressed
-    for key in report["missing"]:
-        print(f"  {'MISSING' if args.require_all else 'missing':>9}  baseline-only row: {format_key(key)}")
-    for key in report["extra"]:
-        print(f"  {'new':>9}  current-only row: {format_key(key)}")
-    if not report["matched"]:
-        print("error: no comparable rows", file=sys.stderr)
-        return 2
-    failed = regressions > 0 or (args.require_all and report["missing"])
-    print(
-        f"{len(report['matched'])} rows compared, {regressions} regressed, "
-        f"{len(report['missing'])} missing, {len(report['extra'])} new"
-    )
-    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -11,13 +11,17 @@ stabilizer machinery), and :class:`~repro.channels.noise_model.NoiseModel`
 from repro.channels.kraus import KrausChannel
 from repro.channels.unitary_mixture import UnitaryMixture, as_unitary_mixture
 from repro.channels.standard import (
+    DeviceNoiseProfile,
     amplitude_damping,
     bit_flip,
     depolarizing,
+    device_profile,
     generalized_amplitude_damping,
     pauli_channel,
     phase_damping,
     phase_flip,
+    profile_names,
+    register_profile,
     reset_channel,
     two_qubit_depolarizing,
 )
@@ -41,6 +45,10 @@ __all__ = [
     "generalized_amplitude_damping",
     "phase_damping",
     "reset_channel",
+    "DeviceNoiseProfile",
+    "device_profile",
+    "profile_names",
+    "register_profile",
     "PauliString",
     "pauli_string_matrix",
     "all_pauli_labels",

@@ -6,12 +6,25 @@ depolarizing.  Genuinely non-unitary channels (exercising the
 state-dependent branch): amplitude damping, generalized amplitude damping,
 phase damping (equivalent to a phase flip but expressed in non-unitary
 Kraus form here, deliberately, to test the general path), and reset.
+
+On top of the individual channels, this module keeps the **named
+device-noise profile registry** the scenario sweep harness
+(:mod:`repro.sweep`) references: each :class:`DeviceNoiseProfile` is a
+calibrated preset (per-wire 1q/2q depolarizing rates, SPAM flip rates,
+optionally T1 amplitude damping) that expands into a full
+:class:`~repro.channels.noise_model.NoiseModel` bound to every standard
+gate name — the qsimbench-style "device noise profile" sweep axis.
+Profiles whose channels are all unitary mixtures advertise it
+(:attr:`DeviceNoiseProfile.unitary_mixture_only`), which the sweep's
+density-matrix distribution oracle uses to decide whether nominal
+trajectory probabilities are exact.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +42,12 @@ __all__ = [
     "generalized_amplitude_damping",
     "phase_damping",
     "reset_channel",
+    "DeviceNoiseProfile",
+    "register_profile",
+    "device_profile",
+    "profile_names",
+    "NOISY_ONE_QUBIT_GATES",
+    "NOISY_TWO_QUBIT_GATES",
 ]
 
 _I = np.eye(2, dtype=np.complex128)
@@ -148,3 +167,154 @@ def reset_channel(p: float) -> KrausChannel:
     k2 = sq * np.array([[0, 1], [0, 0]], dtype=np.complex128)
     ops = [k0, k1, k2] if p > 0 else [k0]
     return KrausChannel(f"reset({p:g})", ops, check=False)
+
+
+# --------------------------------------------------------------------------- #
+# named device-noise profiles (the sweep harness's "device" axis)
+# --------------------------------------------------------------------------- #
+
+#: Gate names a profile binds its single-qubit channels to — every 1q gate
+#: the workload library emits.
+NOISY_ONE_QUBIT_GATES: Tuple[str, ...] = ("h", "x", "s", "t", "rx", "ry", "rz")
+
+#: Gate names a profile binds its two-qubit channels to.
+NOISY_TWO_QUBIT_GATES: Tuple[str, ...] = ("cx", "cz", "swap")
+
+
+@dataclass(frozen=True)
+class DeviceNoiseProfile:
+    """A calibrated, named device noise preset.
+
+    ``p1``/``p2`` are per-gate depolarizing rates (1q per wire, 2q on the
+    full pair), ``p_prep``/``p_meas`` are SPAM bit-flip rates, and
+    ``gamma1`` is an optional per-1q-gate amplitude-damping rate — setting
+    it makes the profile *general* (non-unitary-mixture), which the
+    sweep's distribution oracle must treat differently because nominal
+    trajectory probabilities become priors rather than exact weights.
+    """
+
+    name: str
+    p1: float
+    p2: float
+    p_prep: float = 0.0
+    p_meas: float = 0.0
+    gamma1: float = 0.0
+    description: str = ""
+
+    @property
+    def unitary_mixture_only(self) -> bool:
+        """True when every bound channel is a unitary mixture.
+
+        Depolarizing and bit-flip channels are mixtures of scaled
+        unitaries (state-independent branch probabilities, paper §2.2);
+        amplitude damping is not.
+        """
+        return self.gamma1 == 0.0
+
+    def noise_model(self):
+        """Expand the preset into a :class:`~repro.channels.noise_model.NoiseModel`."""
+        from repro.channels.noise_model import NoiseModel
+
+        model = NoiseModel(name=self.name)
+        if self.p1 > 0:
+            for gate in NOISY_ONE_QUBIT_GATES:
+                model.add_all_qubit_gate_noise(gate, depolarizing(self.p1))
+        if self.p2 > 0:
+            for gate in NOISY_TWO_QUBIT_GATES:
+                model.add_all_qubit_gate_noise(gate, two_qubit_depolarizing(self.p2))
+        if self.gamma1 > 0:
+            for gate in NOISY_ONE_QUBIT_GATES:
+                model.add_all_qubit_gate_noise(gate, amplitude_damping(self.gamma1))
+        if self.p_prep > 0:
+            model.add_preparation_noise(bit_flip(self.p_prep))
+        if self.p_meas > 0:
+            model.add_measurement_noise(bit_flip(self.p_meas))
+        return model
+
+
+_PROFILES: Dict[str, DeviceNoiseProfile] = {}
+
+
+def register_profile(profile: DeviceNoiseProfile) -> DeviceNoiseProfile:
+    """Add a profile to the registry (rejects duplicate names)."""
+    if profile.name in _PROFILES:
+        raise ChannelError(f"noise profile {profile.name!r} already registered")
+    for value, nm in (
+        (profile.p1, "p1"),
+        (profile.p2, "p2"),
+        (profile.p_prep, "p_prep"),
+        (profile.p_meas, "p_meas"),
+        (profile.gamma1, "gamma1"),
+    ):
+        _check_prob(value, f"profile {profile.name!r} {nm}")
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+def profile_names() -> List[str]:
+    """Registered profile names, in registration order."""
+    return list(_PROFILES)
+
+
+def device_profile(name: str) -> DeviceNoiseProfile:
+    if name not in _PROFILES:
+        known = ", ".join(repr(n) for n in _PROFILES)
+        raise ChannelError(f"unknown noise profile {name!r}; registered: {known}")
+    return _PROFILES[name]
+
+
+# Calibrated presets: rates chosen around published device medians so the
+# sweep's noise axis spans realistic regimes (light ion-trap noise up to a
+# stress-test heavy profile) plus one genuinely non-unitary profile that
+# exercises the state-dependent trajectory branch.
+register_profile(
+    DeviceNoiseProfile(
+        name="uniform_depolarizing",
+        p1=2e-3,
+        p2=1.5e-2,
+        p_prep=2e-3,
+        p_meas=1e-2,
+        description="Generic depolarizing + SPAM flips (mid-range rates)",
+    )
+)
+register_profile(
+    DeviceNoiseProfile(
+        name="superconducting_median",
+        p1=8e-4,
+        p2=7e-3,
+        p_prep=1.5e-3,
+        p_meas=1.8e-2,
+        description="Transmon-like medians: fast gates, lossy readout",
+    )
+)
+register_profile(
+    DeviceNoiseProfile(
+        name="trapped_ion_median",
+        p1=2e-4,
+        p2=5e-3,
+        p_prep=1e-3,
+        p_meas=3e-3,
+        description="Ion-trap-like medians: high-fidelity 1q, clean readout",
+    )
+)
+register_profile(
+    DeviceNoiseProfile(
+        name="heavy_depolarizing",
+        p1=8e-3,
+        p2=4e-2,
+        p_prep=5e-3,
+        p_meas=2e-2,
+        description="Stress profile: error rates ~5x superconducting medians",
+    )
+)
+register_profile(
+    DeviceNoiseProfile(
+        name="relaxation_dominated",
+        p1=5e-4,
+        p2=8e-3,
+        p_prep=1e-3,
+        p_meas=1e-2,
+        gamma1=8e-3,
+        description="T1-dominated: amplitude damping per 1q gate (non-unitary)",
+    )
+)

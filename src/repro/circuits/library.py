@@ -5,12 +5,23 @@ Besides generic workloads (GHZ, QFT, random brickwork) this module provides
 :class:`~repro.channels.noise_model.NoiseModel` into an ideal circuit,
 producing the "arbitrary noisy circuit" that enters the PTSBE pipeline of
 paper Fig. 1.
+
+It is also the home of the **named workload registry** the scenario sweep
+harness (:mod:`repro.sweep`) draws from: each :class:`WorkloadFamily`
+wraps one builder with its valid width range, so a declarative sweep spec
+can reference circuits by name (``"ghz"``, ``"qft"``, ``"brickwork"``,
+...) and the harness can reject or skip widths a family cannot
+meaningfully serve — the qsimbench-style "algorithm family × size" axis.
+Registered builders always emit *measured* circuits (every sweep cell
+samples shots) and derive any internal randomness from an explicit seed,
+so a (family, width, seed) triple is fully reproducible.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,7 +34,14 @@ __all__ = [
     "qft",
     "random_brickwork",
     "mirror_benchmark",
+    "bernstein_vazirani",
+    "qaoa_ring",
     "noisy",
+    "WorkloadFamily",
+    "register_workload",
+    "get_workload",
+    "workload_names",
+    "build_workload",
 ]
 
 
@@ -105,6 +123,74 @@ def mirror_benchmark(
     return circ
 
 
+def bernstein_vazirani(
+    num_qubits: int, secret: Optional[int] = None, measure: bool = False
+) -> Circuit:
+    """Bernstein–Vazirani oracle circuit on ``num_qubits - 1`` data qubits.
+
+    The last qubit is the phase ancilla; ``secret`` is a bitmask over the
+    data qubits (default: alternating ``1010...``).  Noise-free output is
+    the secret string on the data register, making deviations directly
+    attributable to injected noise — a standard named algorithm family in
+    device benchmarking suites.
+    """
+    if num_qubits < 2:
+        raise CircuitError("bernstein_vazirani needs >= 2 qubits (data + ancilla)")
+    data = num_qubits - 1
+    if secret is None:
+        secret = int("10" * data, 2) >> (len("10" * data) - data)
+    if not (0 <= secret < 2**data):
+        raise CircuitError(f"secret {secret} out of range for {data} data qubits")
+    circ = Circuit(num_qubits, name=f"bv_{num_qubits}")
+    ancilla = num_qubits - 1
+    circ.x(ancilla)
+    for q in range(num_qubits):
+        circ.h(q)
+    for q in range(data):
+        if (secret >> (data - 1 - q)) & 1:
+            circ.cx(q, ancilla)
+    for q in range(data):
+        circ.h(q)
+    if measure:
+        circ.measure_all()
+    return circ
+
+
+def qaoa_ring(
+    num_qubits: int,
+    layers: int = 1,
+    gamma: float = 0.7,
+    beta: float = 0.4,
+    measure: bool = False,
+) -> Circuit:
+    """QAOA MaxCut ansatz on a ring graph: ZZ cost layers + RX mixers.
+
+    Each layer applies ``exp(-i gamma Z_i Z_j)`` on every ring edge
+    (decomposed as CX·RZ·CX) followed by the transverse mixer
+    ``RX(2 beta)`` on every qubit.  Fixed angles keep the workload
+    deterministic; the ring topology keeps two-qubit depth independent of
+    width.
+    """
+    if num_qubits < 3:
+        raise CircuitError("qaoa_ring needs >= 3 qubits to form a ring")
+    if layers < 1:
+        raise CircuitError("layers must be >= 1")
+    circ = Circuit(num_qubits, name=f"qaoa_ring_{num_qubits}x{layers}")
+    for q in range(num_qubits):
+        circ.h(q)
+    for _ in range(layers):
+        for i in range(num_qubits):
+            j = (i + 1) % num_qubits
+            circ.cx(i, j)
+            circ.rz(2.0 * gamma, j)
+            circ.cx(i, j)
+        for q in range(num_qubits):
+            circ.rx(2.0 * beta, q)
+    if measure:
+        circ.measure_all()
+    return circ
+
+
 def noisy(circuit: Circuit, noise_model) -> Circuit:
     """Interleave a noise model into an ideal circuit.
 
@@ -113,3 +199,128 @@ def noisy(circuit: Circuit, noise_model) -> Circuit:
     boundaries.  Returns a *frozen* circuit ready for trajectory/PTS use.
     """
     return noise_model.apply(circuit).freeze()
+
+
+# --------------------------------------------------------------------------- #
+# named workload registry (the sweep harness's "algorithm family" axis)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """One named circuit family with its valid width range.
+
+    ``builder(num_qubits, rng)`` returns an *ideal, measured, unfrozen*
+    circuit — the sweep harness applies a device noise profile and freezes
+    afterwards.  ``min_width``/``max_width`` bound the widths the family
+    meaningfully serves (e.g. QFT gate count grows as O(n²), so its cap is
+    tighter than GHZ's); out-of-range sweep cells are *skipped*, not
+    errors, so one spec can sweep families of different reach.
+    """
+
+    name: str
+    builder: Callable[[int, np.random.Generator], Circuit]
+    min_width: int
+    max_width: int
+    description: str = ""
+
+    def supports(self, num_qubits: int) -> bool:
+        return self.min_width <= num_qubits <= self.max_width
+
+    def build(self, num_qubits: int, seed: int = 0) -> Circuit:
+        """Build the measured ideal circuit at ``num_qubits`` wide."""
+        if not self.supports(num_qubits):
+            raise CircuitError(
+                f"workload {self.name!r} supports widths "
+                f"[{self.min_width}, {self.max_width}], got {num_qubits}"
+            )
+        return self.builder(num_qubits, np.random.default_rng(seed))
+
+
+_WORKLOADS: Dict[str, WorkloadFamily] = {}
+
+
+def register_workload(family: WorkloadFamily) -> WorkloadFamily:
+    """Add a family to the registry (rejects duplicate names)."""
+    if family.name in _WORKLOADS:
+        raise CircuitError(f"workload {family.name!r} already registered")
+    if family.min_width < 1 or family.max_width < family.min_width:
+        raise CircuitError(
+            f"workload {family.name!r}: invalid width range "
+            f"[{family.min_width}, {family.max_width}]"
+        )
+    _WORKLOADS[family.name] = family
+    return family
+
+
+def workload_names() -> List[str]:
+    """Registered family names, in registration order."""
+    return list(_WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadFamily:
+    known = ", ".join(repr(n) for n in _WORKLOADS)
+    if name not in _WORKLOADS:
+        raise CircuitError(f"unknown workload {name!r}; registered: {known}")
+    return _WORKLOADS[name]
+
+
+def build_workload(name: str, num_qubits: int, seed: int = 0) -> Circuit:
+    """Convenience: look up ``name`` and build at ``num_qubits``."""
+    return get_workload(name).build(num_qubits, seed=seed)
+
+
+register_workload(
+    WorkloadFamily(
+        name="ghz",
+        builder=lambda n, rng: ghz(n, measure=True),
+        min_width=2,
+        max_width=24,
+        description="GHZ preparation: H + CX ladder (linear depth, Clifford)",
+    )
+)
+register_workload(
+    WorkloadFamily(
+        name="qft",
+        builder=lambda n, rng: qft(n, measure=True),
+        min_width=2,
+        max_width=12,
+        description="Quantum Fourier transform (O(n^2) gates)",
+    )
+)
+register_workload(
+    WorkloadFamily(
+        name="brickwork",
+        builder=lambda n, rng: random_brickwork(n, depth=3, rng=rng, measure=True),
+        min_width=2,
+        max_width=14,
+        description="Random brickwork, depth 3 (seeded 1q rotations + CZ layers)",
+    )
+)
+register_workload(
+    WorkloadFamily(
+        name="mirror",
+        builder=lambda n, rng: mirror_benchmark(n, depth=2, rng=rng).measure_all(),
+        min_width=2,
+        max_width=12,
+        description="Mirror benchmark U·U†: ideal output |0...0>",
+    )
+)
+register_workload(
+    WorkloadFamily(
+        name="bernstein_vazirani",
+        builder=lambda n, rng: bernstein_vazirani(n, measure=True),
+        min_width=2,
+        max_width=16,
+        description="Bernstein-Vazirani oracle (alternating secret string)",
+    )
+)
+register_workload(
+    WorkloadFamily(
+        name="qaoa_ring",
+        builder=lambda n, rng: qaoa_ring(n, layers=1, measure=True),
+        min_width=3,
+        max_width=14,
+        description="QAOA MaxCut ansatz on a ring (ZZ cost + RX mixer)",
+    )
+)

@@ -66,3 +66,7 @@ class QECError(ReproError):
 
 class DataError(ReproError):
     """Dataset construction / serialization failure."""
+
+
+class SweepError(ReproError):
+    """Scenario sweep failure (bad spec, oracle machinery misuse)."""

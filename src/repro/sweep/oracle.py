@@ -1,0 +1,245 @@
+"""The differential conformance oracle: what "verified" means per cell.
+
+Three tiers, cheapest first:
+
+1. **Strategy equivalence** — every listed strategy's shot table must be
+   bitwise identical to the serial reference (same bits, same per-shot
+   trajectory ids).  This is the repo's strongest standing invariant
+   (one Philox stream per ``(seed, trajectory_id)``), so any drift is a
+   real bug, not tolerance noise.
+2. **Streaming concatenation** — the chunks yielded by
+   ``execute_stream`` must concatenate to the same strategy's
+   materialized table bitwise.  Verifies the delivery layer never
+   reorders, drops, or duplicates trajectories.
+3. **Distribution** (small widths only) — the pooled empirical shot
+   distribution must agree with the exact density-matrix reference.
+   This tier is *statistical*, so it is gated on the conditions that
+   make it sound:
+
+   * the device profile is a unitary mixture (nominal trajectory
+     probabilities are exact, not priors);
+   * shots were apportioned proportionally to trajectory probability
+     (the ``exhaustive`` sampler's ``total_shots`` mode), so the pooled
+     histogram estimates the coverage-restricted exact distribution;
+   * width ≤ ``distribution_max_qubits`` (4**n density-matrix cost).
+
+   The TVD bound is ``tvd_tolerance + (1 - coverage)``: sampling
+   allowance plus the probability mass the enumeration provably did not
+   cover.  A chi-square test at ``chi_square_alpha`` additionally runs
+   when coverage is near-complete (un-covered mass below half the
+   per-cell standard error), where the restricted and full distributions
+   are statistically indistinguishable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.convergence import exact_distribution
+from repro.circuits.circuit import Circuit
+from repro.data.stats import chi_square_statistic, total_variation_distance
+from repro.errors import SweepError
+from repro.execution.results import ShotTable
+from repro.sweep.spec import OracleSpec
+
+__all__ = [
+    "OracleFinding",
+    "check_strategy_equivalence",
+    "check_streaming_concat",
+    "check_distribution",
+    "chi_square_critical_value",
+]
+
+PASS, FAIL, SKIP = "pass", "fail", "skip"
+
+
+@dataclass(frozen=True)
+class OracleFinding:
+    """Outcome of one oracle tier on one cell (or one strategy)."""
+
+    check: str  # "strategy_equivalence" | "streaming_concat" | "distribution"
+    status: str  # "pass" | "fail" | "skip"
+    detail: str = ""
+    metrics: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Skips do not fail a cell; only an explicit mismatch does."""
+        return self.status != FAIL
+
+    def metric(self, name: str) -> Optional[float]:
+        return dict(self.metrics).get(name)
+
+    def __repr__(self) -> str:
+        extra = f", {self.detail}" if self.detail else ""
+        return f"OracleFinding({self.check}: {self.status}{extra})"
+
+
+def _tables_identical(a: ShotTable, b: ShotTable) -> bool:
+    return (
+        a.measured_qubits == b.measured_qubits
+        and a.bits.shape == b.bits.shape
+        and np.array_equal(a.bits, b.bits)
+        and np.array_equal(a.trajectory_ids, b.trajectory_ids)
+    )
+
+
+def check_strategy_equivalence(
+    reference_strategy: str,
+    reference: ShotTable,
+    others: Dict[str, ShotTable],
+) -> OracleFinding:
+    """Every strategy's table must equal the reference bitwise."""
+    mismatched = [
+        name for name, table in others.items() if not _tables_identical(reference, table)
+    ]
+    if mismatched:
+        return OracleFinding(
+            check="strategy_equivalence",
+            status=FAIL,
+            detail=(
+                f"{', '.join(sorted(mismatched))} diverge from "
+                f"{reference_strategy} reference"
+            ),
+        )
+    return OracleFinding(
+        check="strategy_equivalence",
+        status=PASS,
+        detail=f"{len(others)} strategies bitwise-equal to {reference_strategy}",
+    )
+
+
+def check_streaming_concat(
+    strategy: str, chunks: Tuple[ShotTable, ...], materialized: ShotTable
+) -> OracleFinding:
+    """Concatenated streamed chunks must reproduce the materialized table."""
+    if not chunks:
+        return OracleFinding(
+            check="streaming_concat",
+            status=FAIL,
+            detail=f"{strategy}: stream yielded no chunks",
+        )
+    concatenated = ShotTable.concatenate(list(chunks))
+    if not _tables_identical(concatenated, materialized):
+        return OracleFinding(
+            check="streaming_concat",
+            status=FAIL,
+            detail=f"{strategy}: streamed chunks do not concatenate to table",
+        )
+    return OracleFinding(
+        check="streaming_concat",
+        status=PASS,
+        detail=f"{strategy}: {len(chunks)} chunks concatenate bitwise",
+    )
+
+
+def chi_square_critical_value(dof: int, alpha: float) -> float:
+    """Upper critical value of chi-square at significance ``alpha``.
+
+    Uses scipy when importable; otherwise the Wilson–Hilferty cube
+    approximation (accurate to a few percent for dof >= 3, conservative
+    enough for an oracle threshold).
+    """
+    if dof < 1:
+        raise SweepError(f"dof must be >= 1, got {dof}")
+    try:
+        from scipy.stats import chi2
+
+        return float(chi2.ppf(1.0 - alpha, dof))
+    except ImportError:
+        # Wilson–Hilferty: chi2 ~ dof * (1 - 2/(9 dof) + z sqrt(2/(9 dof)))^3
+        # with z the standard-normal quantile, itself approximated by
+        # Acklam-style rational fit via the error-function inverse.
+        z = math.sqrt(2.0) * _erfinv(1.0 - 2.0 * alpha)
+        h = 2.0 / (9.0 * dof)
+        return float(dof * (1.0 - h + z * math.sqrt(h)) ** 3)
+
+
+def _erfinv(y: float) -> float:
+    """Inverse error function (Winitzki approximation, |err| < 6e-3)."""
+    a = 0.147
+    ln_term = math.log(max(1.0 - y * y, 1e-300))
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return math.copysign(
+        math.sqrt(math.sqrt(first**2 - ln_term / a) - first), y
+    )
+
+
+def check_distribution(
+    circuit: Circuit,
+    table: ShotTable,
+    coverage: float,
+    oracle: OracleSpec,
+    unitary_mixture: bool,
+    proportional_shots: bool,
+) -> OracleFinding:
+    """Empirical pooled distribution vs. the exact density-matrix reference.
+
+    ``coverage`` is the summed nominal probability of the sampled
+    trajectory set (``PTSResult.coverage()``); the un-covered tail is an
+    honest bias term, so it widens the TVD bound instead of being
+    silently absorbed by a loose tolerance.
+    """
+    width = circuit.num_qubits
+    if width > oracle.distribution_max_qubits:
+        return OracleFinding(
+            check="distribution",
+            status=SKIP,
+            detail=f"width {width} > distribution_max_qubits "
+            f"{oracle.distribution_max_qubits}",
+        )
+    if not unitary_mixture:
+        return OracleFinding(
+            check="distribution",
+            status=SKIP,
+            detail="profile has non-unitary channels: nominal trajectory "
+            "probabilities are priors, pooled histogram is not comparable",
+        )
+    if not proportional_shots:
+        return OracleFinding(
+            check="distribution",
+            status=SKIP,
+            detail="shots not apportioned proportionally to trajectory "
+            "probability; pooled histogram is deliberately biased",
+        )
+    exact = exact_distribution(circuit)
+    empirical = table.empirical_distribution(len(exact))
+    tvd = total_variation_distance(empirical, exact)
+    uncovered = max(0.0, 1.0 - coverage)
+    bound = oracle.tvd_tolerance + uncovered
+    metrics = [("tvd", tvd), ("tvd_bound", bound), ("coverage", coverage)]
+    if tvd > bound:
+        return OracleFinding(
+            check="distribution",
+            status=FAIL,
+            detail=f"TVD {tvd:.4f} exceeds bound {bound:.4f} "
+            f"(tolerance {oracle.tvd_tolerance} + uncovered {uncovered:.4f})",
+            metrics=tuple(metrics),
+        )
+    # Chi-square only where the coverage restriction is statistically
+    # invisible: uncovered mass below half of one standard error of the
+    # pooled histogram.
+    shots = table.num_shots
+    if uncovered <= 0.5 / math.sqrt(max(shots, 1)):
+        counts = empirical * shots
+        stat, dof = chi_square_statistic(counts, exact)
+        critical = chi_square_critical_value(dof, oracle.chi_square_alpha)
+        metrics += [("chi_square", stat), ("chi_square_critical", critical)]
+        if stat > critical:
+            return OracleFinding(
+                check="distribution",
+                status=FAIL,
+                detail=f"chi-square {stat:.1f} exceeds critical {critical:.1f} "
+                f"at alpha={oracle.chi_square_alpha:g} (dof={dof})",
+                metrics=tuple(metrics),
+            )
+    return OracleFinding(
+        check="distribution",
+        status=PASS,
+        detail=f"TVD {tvd:.4f} within bound {bound:.4f}",
+        metrics=tuple(metrics),
+    )

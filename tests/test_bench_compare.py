@@ -1,0 +1,195 @@
+"""Edge cases of the benchmark comparator (``benchmarks/bench_compare.py``).
+
+The comparator is the regression gate CI trusts, so its own edge
+behaviour needs pinning: baselines written before a TIME_COLUMNS entry
+existed must still match, empty/rowless baselines must be a schema
+error (exit 2), and the regression threshold must be an open bound
+(``cur < (1 - t) * base`` — exactly-at-threshold passes).
+"""
+
+import copy
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+
+from bench_compare import (  # noqa: E402
+    TIME_COLUMNS,
+    compare_payloads,
+    main,
+    row_key,
+)
+
+
+def _payload(rows, benchmark="demo"):
+    return {
+        "schema_version": 1,
+        "benchmark": benchmark,
+        "created_unix": 1700000000.0,
+        "python": "3.11.0",
+        "numpy": "1.26.0",
+        "array_module": "numpy",
+        "workload": {"num_qubits": 4},
+        "rows": rows,
+    }
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+ROW = {
+    "strategy": "vectorized",
+    "trajectories": 8,
+    "shots_per_second": 1.0e6,
+    "seconds": 0.01,
+    "first_chunk_seconds": 0.002,
+    "renorm_seconds": 0.001,
+}
+
+
+class TestRowIdentity:
+    def test_time_columns_excluded_from_identity(self):
+        a = dict(ROW)
+        b = dict(ROW, seconds=99.0, first_chunk_seconds=5.0, renorm_seconds=7.0)
+        assert row_key(a, "shots_per_second") == row_key(b, "shots_per_second")
+
+    def test_baseline_missing_new_time_column_still_matches(self):
+        """A baseline written before ``renorm_seconds`` (the newest
+        TIME_COLUMNS entry) existed must match a current row that has it."""
+        old = {k: v for k, v in ROW.items() if k not in TIME_COLUMNS}
+        old["seconds"] = 0.02  # old docs had only the original wall-time column
+        report = compare_payloads(_payload([old]), _payload([dict(ROW)]))
+        assert len(report["matched"]) == 1
+        assert report["missing"] == [] and report["extra"] == []
+
+    def test_metric_excluded_from_identity(self):
+        fast = dict(ROW, shots_per_second=2.0e6)
+        report = compare_payloads(_payload([dict(ROW)]), _payload([fast]))
+        (_, base, cur, ratio, regressed) = report["matched"][0]
+        assert (base, cur) == (1.0e6, 2.0e6)
+        assert ratio == pytest.approx(2.0)
+        assert not regressed
+
+
+class TestThresholdBoundary:
+    def _single(self, base_rate, cur_rate, threshold):
+        report = compare_payloads(
+            _payload([dict(ROW, shots_per_second=base_rate)]),
+            _payload([dict(ROW, shots_per_second=cur_rate)]),
+            threshold=threshold,
+        )
+        (_, _, _, _, regressed) = report["matched"][0]
+        return regressed
+
+    def test_exactly_at_threshold_is_not_regressed(self):
+        # cur == (1 - t) * base sits on the boundary: strict < means pass.
+        assert self._single(1.0e6, 0.85e6, 0.15) is False
+
+    def test_just_below_threshold_is_regressed(self):
+        assert self._single(1.0e6, 0.85e6 - 1.0, 0.15) is True
+
+    def test_zero_threshold_flags_any_drop(self):
+        assert self._single(1.0e6, 1.0e6, 0.0) is False
+        assert self._single(1.0e6, 1.0e6 - 1.0, 0.0) is True
+
+
+class TestMainExitCodes:
+    def test_empty_baseline_rows_is_schema_error(self, tmp_path, capsys):
+        bad = _payload([])
+        base = _write(tmp_path, "base.json", bad)
+        cur = _write(tmp_path, "cur.json", _payload([dict(ROW)]))
+        assert main([base, cur]) == 2
+        assert "rows must be a non-empty list" in capsys.readouterr().err
+
+    def test_disjoint_rows_no_comparables_is_error(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _payload([dict(ROW, strategy="serial")]))
+        cur = _write(tmp_path, "cur.json", _payload([dict(ROW)]))
+        assert main([base, cur]) == 2
+        assert "no comparable rows" in capsys.readouterr().err
+
+    def test_benchmark_name_mismatch_is_error(self, tmp_path):
+        base = _write(tmp_path, "base.json", _payload([dict(ROW)], benchmark="a"))
+        cur = _write(tmp_path, "cur.json", _payload([dict(ROW)], benchmark="b"))
+        assert main([base, cur]) == 2
+
+    def test_regression_exits_one(self, tmp_path):
+        base = _write(tmp_path, "base.json", _payload([dict(ROW)]))
+        cur = _write(
+            tmp_path, "cur.json", _payload([dict(ROW, shots_per_second=1.0e5)])
+        )
+        assert main([base, cur, "--threshold", "0.15"]) == 1
+
+    def test_clean_comparison_exits_zero(self, tmp_path):
+        base = _write(tmp_path, "base.json", _payload([dict(ROW)]))
+        cur = _write(tmp_path, "cur.json", _payload([dict(ROW)]))
+        assert main([base, cur]) == 0
+
+    def test_missing_baseline_row_fails_only_with_require_all(self, tmp_path):
+        two = _payload([dict(ROW), dict(ROW, strategy="serial")])
+        base = _write(tmp_path, "base.json", two)
+        cur = _write(tmp_path, "cur.json", _payload([dict(ROW)]))
+        assert main([base, cur]) == 0
+        assert main([base, cur, "--require-all"]) == 1
+
+
+class TestDirectoryMode:
+    def _make_dir(self, root, name, payloads):
+        d = root / name
+        d.mkdir()
+        for fname, payload in payloads.items():
+            (d / fname).write_text(json.dumps(payload))
+        return str(d)
+
+    def test_matching_dirs_compare_clean(self, tmp_path):
+        docs = {
+            "BENCH_a.json": _payload([dict(ROW)], benchmark="a"),
+            "BENCH_b.json": _payload([dict(ROW)], benchmark="b"),
+        }
+        base = self._make_dir(tmp_path, "base", docs)
+        cur = self._make_dir(tmp_path, "cur", copy.deepcopy(docs))
+        assert main([base, cur]) == 0
+
+    def test_regression_in_one_file_fails_the_dir(self, tmp_path):
+        docs = {"BENCH_a.json": _payload([dict(ROW)], benchmark="a")}
+        slow = {
+            "BENCH_a.json": _payload(
+                [dict(ROW, shots_per_second=1.0e5)], benchmark="a"
+            )
+        }
+        base = self._make_dir(tmp_path, "base", docs)
+        cur = self._make_dir(tmp_path, "cur", slow)
+        assert main([base, cur, "--threshold", "0.15"]) == 1
+
+    def test_baseline_only_file_fails_only_with_require_all(self, tmp_path):
+        docs = {
+            "BENCH_a.json": _payload([dict(ROW)], benchmark="a"),
+            "BENCH_b.json": _payload([dict(ROW)], benchmark="b"),
+        }
+        base = self._make_dir(tmp_path, "base", docs)
+        cur = self._make_dir(
+            tmp_path, "cur", {"BENCH_a.json": _payload([dict(ROW)], benchmark="a")}
+        )
+        assert main([base, cur]) == 0
+        assert main([base, cur, "--require-all"]) == 1
+
+    def test_no_shared_files_is_error(self, tmp_path):
+        base = self._make_dir(
+            tmp_path, "base", {"BENCH_a.json": _payload([dict(ROW)], benchmark="a")}
+        )
+        cur = self._make_dir(
+            tmp_path, "cur", {"BENCH_b.json": _payload([dict(ROW)], benchmark="b")}
+        )
+        assert main([base, cur]) == 2
+
+    def test_mixed_file_and_dir_is_error(self, tmp_path):
+        base = self._make_dir(
+            tmp_path, "base", {"BENCH_a.json": _payload([dict(ROW)], benchmark="a")}
+        )
+        cur = _write(tmp_path, "cur.json", _payload([dict(ROW)]))
+        assert main([base, cur]) == 2

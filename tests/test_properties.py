@@ -118,6 +118,120 @@ class TestMPSInvariants:
         assert set(np.unique(bits)) <= {0, 1}
 
 
+class TestKrausCPTPClosure:
+    """CPTP closure under every channel transformation PTS relies on.
+
+    The transformations construct with ``check=False`` (they are closed by
+    algebra, so the constructor check would be wasted work) — these
+    properties are what licenses that skip.
+    """
+
+    @staticmethod
+    def _assert_cptp(channel):
+        total = sum(k.conj().T @ k for k in channel.kraus_ops)
+        np.testing.assert_allclose(total, np.eye(channel.dim), atol=1e-9)
+        assert sum(channel.nominal_probs) == pytest.approx(1.0, abs=1e-9)
+
+    @given(seeds, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_random_unitary_mixture_is_cptp(self, seed, nops):
+        from repro.channels.kraus import KrausChannel
+        from repro.linalg.unitary import random_unitary
+
+        rng = make_rng(seed)
+        weights = rng.random(nops) + 1e-3
+        weights = weights / weights.sum()
+        ops = [np.sqrt(w) * random_unitary(2, rng) for w in weights]
+        ch = KrausChannel("mix", ops, check=True)  # must not raise
+        self._assert_cptp(ch)
+        np.testing.assert_allclose(ch.nominal_probs, weights, atol=1e-9)
+
+    @given(seeds, probs, st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_compose_unitary_preserves_cptp(self, seed, p, before):
+        from repro.linalg.unitary import random_unitary
+
+        ch = amplitude_damping(min(p, 1.0))
+        u = random_unitary(2, make_rng(seed))
+        self._assert_cptp(ch.compose_unitary(u, before=before))
+
+    @given(probs)
+    @settings(max_examples=20, deadline=None)
+    def test_pauli_twirl_preserves_cptp(self, p):
+        twirled = amplitude_damping(min(p, 1.0)).pauli_twirl()
+        self._assert_cptp(twirled)
+
+    @given(seeds, probs, probs)
+    @settings(max_examples=15, deadline=None)
+    def test_twirl_then_compose_preserves_cptp(self, seed, p1, p2):
+        from repro.linalg.unitary import random_unitary
+
+        ch = phase_damping(min(p1, 1.0)).pauli_twirl()
+        u = random_unitary(2, make_rng(seed))
+        self._assert_cptp(ch.compose_unitary(u).compose_unitary(u, before=False))
+
+
+class TestFusionWindowAlgebra:
+    """Fused window matrix = ordered product of embedded members."""
+
+    @given(
+        seeds,
+        st.integers(min_value=1, max_value=3),  # window width (kernel tiers)
+        st.integers(min_value=1, max_value=5),  # operators in the window
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fused_matrix_equals_ordered_product(self, seed, width, nops):
+        from repro.linalg.fusion import (
+            expand_to_support,
+            fuse_window_matrix,
+            window_support,
+        )
+        from repro.linalg.unitary import random_unitary
+
+        rng = make_rng(seed)
+        # Non-contiguous circuit qubit labels: the algebra must not assume
+        # support == range(width).
+        support = tuple(sorted(int(q) for q in rng.choice(6, size=width, replace=False)))
+        ops = []
+        for _ in range(nops):
+            k = int(rng.integers(1, width + 1))
+            # Arbitrary (possibly descending) qubit order within an operator.
+            qubits = tuple(int(q) for q in rng.choice(support, size=k, replace=False))
+            ops.append((random_unitary(2**k, rng), qubits))
+        fused = fuse_window_matrix(ops, support)
+        expected = np.eye(2**width, dtype=np.complex128)
+        for matrix, qubits in ops:  # application order: index 0 acts first
+            expected = expand_to_support(matrix, qubits, support) @ expected
+        np.testing.assert_allclose(fused, expected, atol=1e-10)
+        # A window of unitaries fuses to a unitary.
+        np.testing.assert_allclose(
+            fused @ fused.conj().T, np.eye(2**width), atol=1e-9
+        )
+        assert set(window_support([q for _, q in ops])) <= set(support)
+
+    @given(seeds, st.integers(min_value=2, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_disjoint_support_embeddings_commute(self, seed, width):
+        """Operators on disjoint qubits embed to commuting window matrices,
+        so their fusion order inside a window cannot change the product."""
+        from repro.linalg.fusion import expand_to_support, fuse_window_matrix
+        from repro.linalg.unitary import random_unitary
+
+        rng = make_rng(seed)
+        support = tuple(range(width))
+        t1, t2 = (int(q) for q in rng.choice(width, size=2, replace=False))
+        u = random_unitary(2, rng)
+        v = random_unitary(2, rng)
+        a = expand_to_support(u, (t1,), support)
+        b = expand_to_support(v, (t2,), support)
+        np.testing.assert_allclose(a @ b, b @ a, atol=1e-10)
+        np.testing.assert_allclose(
+            fuse_window_matrix([(u, (t1,)), (v, (t2,))], support),
+            fuse_window_matrix([(v, (t2,)), (u, (t1,))], support),
+            atol=1e-10,
+        )
+
+
 class TestPTSInvariants:
     @given(st.floats(min_value=0.001, max_value=0.3))
     @settings(max_examples=15, deadline=None)

@@ -396,6 +396,59 @@ class TestRetention:
         assert result.total_shots > 0
 
 
+class TestRetainFalseAbandonment:
+    """retain=False streams must deliver identically, abandon cleanly
+    mid-run on every strategy, and leave the sharded pool reusable."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_retain_false_stream_matches_materialized(self, brickwork, strategy):
+        specs = _pts_specs(brickwork, 4)
+        materialized = _executor(strategy, "auto").execute(brickwork, specs, seed=10)
+        stream = _executor(strategy, "auto").execute_stream(
+            brickwork, specs, seed=10, retain=False
+        )
+        concat = ShotTable.concatenate([c.shot_table() for c in stream])
+        reference = materialized.shot_table()
+        np.testing.assert_array_equal(concat.bits, reference.bits)
+        np.testing.assert_array_equal(
+            concat.trajectory_ids, reference.trajectory_ids
+        )
+        assert stream._collected == []
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_midstream_close_retain_false(self, brickwork, strategy):
+        specs = _pts_specs(brickwork, 8)
+        stream = _executor(strategy, "auto").execute_stream(
+            brickwork, specs, seed=9, retain=False
+        )
+        first = next(stream)
+        assert first.num_shots > 0
+        stream.close()
+        assert stream.closed
+        with pytest.raises(StopIteration):
+            next(stream)
+        with pytest.raises(ExecutionError):
+            stream.finalize()
+        _assert_no_child_processes()
+
+    def test_sharded_close_then_reopen_same_executor(self, brickwork):
+        """An abandoned run must not poison the executor: the same sharded
+        instance has to serve a fresh, complete, bitwise-correct run."""
+        specs = _pts_specs(brickwork, 8)
+        materialized = _executor("sharded", "auto").execute(brickwork, specs, seed=12)
+        executor = _executor("sharded", "auto")
+        stream = executor.execute_stream(brickwork, specs, seed=12, retain=False)
+        next(stream)
+        stream.close()
+        _assert_no_child_processes()
+        reopened = executor.execute_stream(brickwork, specs, seed=12)
+        result = reopened.finalize()
+        np.testing.assert_array_equal(
+            result.shot_table().bits, materialized.shot_table().bits
+        )
+        _assert_no_child_processes()
+
+
 class TestStreamingPrimitives:
     def test_ordered_delivery_reorders(self):
         t = [object() for _ in range(4)]

@@ -1,0 +1,77 @@
+"""Small-width exact-oracle conformance: every named workload family.
+
+For each family in the registry at n <= 5 qubits, a proportionally
+apportioned exhaustive PTSBE run's pooled empirical distribution must
+match the exact density-matrix reference — the same check the sweep
+harness's distribution tier applies, exercised here as plain pytest so a
+conformance break fails the unit suite even when no sweep runs.
+"""
+
+import pytest
+
+from repro.channels.standard import device_profile
+from repro.circuits.library import build_workload, get_workload, noisy, workload_names
+from repro.execution import run_ptsbe
+from repro.pts import ExhaustivePTS
+from repro.sweep.oracle import PASS, check_distribution
+from repro.sweep.spec import OracleSpec
+
+SHOTS = 30_000
+SEED = 13
+
+
+def _width_for(family_name):
+    fam = get_workload(family_name)
+    return max(fam.min_width, min(5, fam.max_width))
+
+
+@pytest.mark.parametrize("family_name", workload_names())
+def test_family_matches_density_matrix_at_small_width(family_name):
+    width = _width_for(family_name)
+    profile = device_profile("uniform_depolarizing")  # unitary mixture
+    circuit = noisy(build_workload(family_name, width, seed=SEED), profile.noise_model())
+    sampler = ExhaustivePTS(cutoff=1e-6, nshots=None, total_shots=SHOTS)
+    result = run_ptsbe(circuit, sampler, seed=SEED)
+    coverage = 0.0
+    for record in result.records:
+        coverage += record.nominal_probability
+    finding = check_distribution(
+        circuit,
+        result.shot_table(),
+        coverage,
+        OracleSpec(tvd_tolerance=0.06),
+        unitary_mixture=True,
+        proportional_shots=True,
+    )
+    assert finding.status == PASS, f"{family_name} w{width}: {finding.detail}"
+    assert finding.metric("tvd") < finding.metric("tvd_bound")
+
+
+@pytest.mark.parametrize("family_name", workload_names())
+def test_family_builders_deterministic_and_measured(family_name):
+    width = _width_for(family_name)
+    a = build_workload(family_name, width, seed=3)
+    b = build_workload(family_name, width, seed=3)
+    assert a.num_qubits == b.num_qubits == width
+    assert len(a) == len(b)
+    assert tuple(a.measured_qubits) == tuple(b.measured_qubits)
+    assert len(a.measured_qubits) > 0  # oracle needs measured circuits
+
+
+def test_relaxation_profile_is_skipped_by_distribution_tier():
+    """Non-unitary profiles must skip (not fail) the statistical tier."""
+    profile = device_profile("relaxation_dominated")
+    assert not profile.unitary_mixture_only
+    circuit = noisy(build_workload("ghz", 3, seed=SEED), profile.noise_model())
+    sampler = ExhaustivePTS(cutoff=1e-4, nshots=None, total_shots=2000)
+    result = run_ptsbe(circuit, sampler, seed=SEED)
+    finding = check_distribution(
+        circuit,
+        result.shot_table(),
+        1.0,
+        OracleSpec(),
+        unitary_mixture=False,
+        proportional_shots=True,
+    )
+    assert finding.status == "skip"
+    assert "non-unitary" in finding.detail
