@@ -7,6 +7,24 @@ sampler's MHz-scale rate on the Clifford-ized MSD circuit, PTSBE's rate
 on the same circuit, and asserts the trade: frames are faster, PTSBE is
 universal (it also runs the true non-Clifford circuit, which frames
 cannot).
+
+The standalone main compares the ``clifford`` strategy (batched frame
+delivery through the normal ``run_ptsbe`` front door) against the
+``vectorized`` dense strategy at matched shot counts on two Clifford-ized
+MSD workloads:
+
+- the bare 5-qubit logical-level circuit, where dense statevectors are
+  in their best regime (2**5 amplitudes) and frames win modestly, and
+- the repetition-4-encoded 20-qubit circuit (the QEC regime the router
+  exists for), where the dense stack pays one (B, 2**20) simulation per
+  unique trajectory and drops to ~1e5 shots/s while frames stay in the
+  tens of MHz — the headline >= 50x gap asserted below.
+
+``--json PATH`` writes the rows as a machine-readable ``BENCH_*.json``
+(schema in ``benchmarks/_harness.py``):
+
+    PYTHONPATH=src python benchmarks/bench_clifford_baseline.py \
+        --json BENCH_clifford_baseline.json
 """
 
 from __future__ import annotations
@@ -91,3 +109,136 @@ def test_clifford_comparison_report(benchmark, msd_bare, clifford_msd, sv_backen
     # PTSBE exists to fill.
     with pytest.raises(BackendError):
         FrameSampler(msd_bare).sample(1, make_rng(2))
+
+
+# --------------------------------------------------------------------- #
+# standalone strategy comparison: clifford vs. vectorized at matched shots
+# --------------------------------------------------------------------- #
+
+BENCH_SEED = 5
+#: Monte-Carlo PTS draw count for the encoded workload — each *unique*
+#: sampled trajectory costs the dense engine one (B, 2**20) simulation.
+ENCODED_NSAMPLES = 128
+ENCODED_NSHOTS = 100_000
+BARE_SHOTS = 2_000_000
+BARE_CUTOFF = 1e-4
+
+
+def make_clifford_msd_encoded():
+    """Repetition-4-encoded (20-qubit) Clifford-ized MSD with the standard
+    MSD gate noise — the dense-feasible stand-in for the paper's 35-qubit
+    Steane-encoded statevector workload (which no dense strategy can run)."""
+    from conftest import MSD_NOISE
+
+    from repro.qec import repetition_code
+
+    return _cliffordized(
+        MSD_NOISE.apply(msd_benchmark_circuit(repetition_code(4))).freeze()
+    )
+
+
+def _strategy_row(workload_name, circuit, make_sampler, strategy, rounds):
+    """One (strategy x workload) row: best-of-N full run + first-chunk time."""
+    from repro.execution import BackendSpec, run_ptsbe, run_ptsbe_stream
+
+    backend = (
+        BackendSpec.batched_statevector()
+        if strategy == "vectorized"
+        else BackendSpec.statevector()
+    )
+    best = float("inf")
+    shots = trajectories = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run_ptsbe(
+            circuit, make_sampler(), backend, seed=BENCH_SEED, strategy=strategy
+        )
+        best = min(best, time.perf_counter() - t0)
+        shots = result.shot_table().num_shots
+        trajectories = len(result.records)
+        assert result.engine == strategy
+    stream = run_ptsbe_stream(
+        circuit, make_sampler(), backend, seed=BENCH_SEED, strategy=strategy
+    )
+    t0 = time.perf_counter()
+    next(stream)
+    first_chunk = time.perf_counter() - t0
+    stream.close()
+    return {
+        "workload": workload_name,
+        "strategy": strategy,
+        "trajectories": trajectories,
+        "shots": shots,
+        "shots_per_second": shots / best,
+        "seconds": best,
+        "first_chunk_seconds": first_chunk,
+    }
+
+
+if __name__ == "__main__":
+    from _harness import make_parser, write_json
+
+    from conftest import make_msd_bare
+    from repro.pts import ExhaustivePTS, ProbabilisticPTS
+
+    args = make_parser(__doc__.splitlines()[0]).parse_args()
+    bare = _cliffordized(make_msd_bare())
+    encoded = make_clifford_msd_encoded()
+    cases = [
+        (
+            "msd_cliffordized_bare_5q",
+            bare,
+            lambda: ExhaustivePTS(cutoff=BARE_CUTOFF, nshots=None, total_shots=BARE_SHOTS),
+            {"clifford": 3, "vectorized": 2},
+        ),
+        (
+            "msd_cliffordized_rep4_20q",
+            encoded,
+            lambda: ProbabilisticPTS(nsamples=ENCODED_NSAMPLES, nshots=ENCODED_NSHOTS),
+            {"clifford": 3, "vectorized": 1},
+        ),
+    ]
+    print(
+        f"{'workload':>26} {'strategy':>11} {'traj':>5} {'shots':>9} "
+        f"{'shots/s':>12} {'seconds':>9} {'1st chunk':>10}"
+    )
+    json_rows = []
+    rates = {}
+    for name, circuit, make_sampler, rounds_by_strategy in cases:
+        for strategy, rounds in rounds_by_strategy.items():
+            row = _strategy_row(name, circuit, make_sampler, strategy, rounds)
+            json_rows.append(row)
+            rates[(name, strategy)] = row["shots_per_second"]
+            print(
+                f"{name:>26} {strategy:>11} {row['trajectories']:>5d} "
+                f"{row['shots']:>9d} {row['shots_per_second']:>12.3e} "
+                f"{row['seconds']:>9.4f} {row['first_chunk_seconds']:>10.4f}"
+            )
+    speedup = (
+        rates[("msd_cliffordized_rep4_20q", "clifford")]
+        / rates[("msd_cliffordized_rep4_20q", "vectorized")]
+    )
+    print(
+        f"clifford vs vectorized on the encoded Clifford-ized MSD: "
+        f"{speedup:.1f}x (target >= 50x)"
+    )
+    assert speedup >= 50.0, (
+        f"clifford strategy regressed to {speedup:.1f}x the vectorized rate "
+        "on the 20-qubit Clifford-ized MSD (target >= 50x)"
+    )
+
+    if args.json:
+        write_json(
+            args.json,
+            "clifford_baseline",
+            json_rows,
+            workload={
+                "bare": {"circuit": "msd_cliffordized", "num_qubits": 5,
+                         "sampler": f"ExhaustivePTS(cutoff={BARE_CUTOFF})",
+                         "total_shots": BARE_SHOTS},
+                "encoded": {"circuit": "msd_cliffordized_rep4", "num_qubits": 20,
+                            "sampler": f"ProbabilisticPTS(nsamples={ENCODED_NSAMPLES}, "
+                                       f"nshots={ENCODED_NSHOTS})"},
+                "seed": BENCH_SEED,
+            },
+        )

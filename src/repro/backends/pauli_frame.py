@@ -27,6 +27,7 @@ whenever they are applicable.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,13 +44,23 @@ __all__ = ["FrameSampler", "frame_sample"]
 
 @dataclass
 class _NoiseSite:
-    """Pre-analyzed Pauli-mixture site: per-branch frame bit patterns."""
+    """Pre-analyzed Pauli-mixture site: per-branch frame bit patterns.
+
+    ``x_patterns``/``z_patterns`` are the branch Paulis *at* the site;
+    ``end_x_patterns`` are the same branches conjugated through every
+    Clifford gate after the site to the end of the circuit, which is what
+    makes fixed-choice (PTS) sampling O(1) per spec: a spec's terminal
+    frame is just the XOR of its chosen branches' end patterns.
+    """
 
     op_index: int
+    site_id: int
+    dominant_index: int
     qubits: Tuple[int, ...]
     probs: np.ndarray  # (branches,)
     x_patterns: np.ndarray  # (branches, n) uint8
     z_patterns: np.ndarray  # (branches, n) uint8
+    end_x_patterns: np.ndarray = None  # (branches, n) uint8, filled post-walk
 
 
 class FrameSampler:
@@ -63,6 +74,9 @@ class FrameSampler:
         self.measured_qubits = list(circuit.measured_qubits)
         if not self.measured_qubits:
             raise BackendError("FrameSampler requires at least one measurement")
+        self._measured_index = np.asarray(self.measured_qubits, dtype=np.intp)
+        self._combo_tables: Optional[List[np.ndarray]] = None
+        self._packed_tables_cache: Optional[List[np.ndarray]] = None
         self._analyze_ideal()
         self._analyze_noise()
 
@@ -122,12 +136,203 @@ class FrameSampler:
             self.sites.append(
                 _NoiseSite(
                     op_index=op_index,
+                    site_id=op.site_id,
+                    dominant_index=op.channel.dominant_index(),
                     qubits=op.qubits,
                     probs=np.asarray(mixture.probs, dtype=np.float64),
                     x_patterns=xpat,
                     z_patterns=zpat,
                 )
             )
+        self._propagate_site_patterns()
+
+    def _propagate_site_patterns(self) -> None:
+        """Conjugate every site's branch patterns to the end of the circuit.
+
+        One forward walk: a site's branch rows join the working stack when
+        the walk reaches it, so each subsequent gate's O(1) column update
+        hits exactly the branches the gate acts after.  The resulting
+        ``end_x_patterns`` let :meth:`frame_for_choices` assemble a fixed
+        trajectory's terminal frame without touching the gate list again.
+        """
+        total = sum(len(site.probs) for site in self.sites)
+        fx = np.zeros((total, self.num_qubits), dtype=np.uint8)
+        fz = np.zeros((total, self.num_qubits), dtype=np.uint8)
+        spans: List[Tuple[int, int]] = []
+        active = 0
+        site_iter = iter(self.sites)
+        next_site = next(site_iter, None)
+        for op_index, op in enumerate(self.circuit):
+            if isinstance(op, GateOp):
+                if active:
+                    self._propagate_gate(op.gate.name, op.qubits, fx[:active], fz[:active])
+            elif isinstance(op, NoiseOp):
+                assert next_site is not None and next_site.op_index == op_index
+                branches = len(next_site.probs)
+                fx[active : active + branches] = next_site.x_patterns
+                fz[active : active + branches] = next_site.z_patterns
+                spans.append((active, active + branches))
+                active += branches
+                next_site = next(site_iter, None)
+        for site, (start, stop) in zip(self.sites, spans):
+            site.end_x_patterns = fx[start:stop].copy()
+
+    # ------------------------------------------------------------------ #
+    # fixed-choice (PTS) sampling
+    # ------------------------------------------------------------------ #
+    def frame_for_choices(self, choices: Dict[int, int]) -> Tuple[np.ndarray, float]:
+        """Terminal frame flips on the measured qubits + exact weight.
+
+        ``choices`` maps deviating ``site_id`` to Kraus index (PTS
+        semantics: unpinned sites take the dominant branch).  Because a
+        spec's Kraus choices are *fixed*, its frame is deterministic — the
+        XOR over sites of the chosen branch's end-propagated X pattern —
+        and the trajectory weight is exactly the product of the chosen
+        branch probabilities (Pauli mixtures are unitary mixtures, so
+        nominal probabilities are exact).
+        """
+        flips = np.zeros(len(self.measured_qubits), dtype=np.uint8)
+        weight = 1.0
+        measured = self._measured_index
+        for site in self.sites:
+            branch = choices.get(site.site_id, site.dominant_index)
+            if not 0 <= branch < len(site.probs):
+                raise BackendError(
+                    f"site {site.site_id}: Kraus index {branch} out of range "
+                    f"for {len(site.probs)} branches"
+                )
+            flips ^= site.end_x_patterns[branch][measured]
+            weight *= float(site.probs[branch])
+        return flips, weight
+
+    #: Generators per XOR-combination lookup table: 2**12 rows of k bytes
+    #: stays comfortably cache-resident while covering 12 random
+    #: measurements per table (most circuits need exactly one table).
+    _COMBO_GROUP_BITS = 12
+
+    def _combination_tables(self) -> List[np.ndarray]:
+        """Lazy per-group lookup tables of all generator XOR combinations.
+
+        Row ``c`` of a group's table is the XOR of the group's generators
+        selected by the bits of ``c``, built by doubling — so a uniform
+        row index is exactly a uniform coefficient vector, and bulk
+        sampling becomes one integer draw plus one gather per group
+        instead of a (shots x r) uint8 matmul (which has no BLAS path).
+        """
+        if self._combo_tables is None:
+            k = len(self.measured_qubits)
+            tables = []
+            for start in range(0, len(self.random_positions), self._COMBO_GROUP_BITS):
+                group = self.generators[start : start + self._COMBO_GROUP_BITS]
+                table = np.zeros((1 << len(group), k), dtype=np.uint8)
+                for i in range(len(group)):
+                    half = 1 << i
+                    np.bitwise_xor(table[:half], group[i], out=table[half : 2 * half])
+                tables.append(table)
+            self._combo_tables = tables
+        return self._combo_tables
+
+    #: Generators per *packed* lookup table: rows are whole bit-vectors
+    #: packed into one integer word, so a 2**16-row uint64 table is 512 KiB
+    #: (cache-resident) while covering 16 random measurements at once.
+    _PACKED_GROUP_BITS = 16
+
+    def _packed_word_dtype(self):
+        """Smallest unsigned dtype holding all k measured bits (None if >64)."""
+        k = len(self.measured_qubits)
+        if k <= 16:
+            return np.uint16
+        if k <= 32:
+            return np.uint32
+        if k <= 64:
+            return np.uint64
+        return None
+
+    @staticmethod
+    def _pack_word(bits: np.ndarray) -> int:
+        """Pack a k-bit uint8 vector into an int (bit j = measured bit j)."""
+        word = 0
+        for j in np.flatnonzero(bits):
+            word |= 1 << int(j)
+        return word
+
+    def _packed_combination_tables(self) -> List[np.ndarray]:
+        """Packed-word variant of :meth:`_combination_tables`.
+
+        Same doubling construction, but each table row is the whole k-bit
+        outcome packed into one unsigned word — so the per-group gather is
+        1-D (2–8 bytes per shot instead of k), group XORs are single word
+        ops, and the bits are unpacked to ``(shots, k)`` uint8 exactly
+        once per trajectory in :meth:`_unpack_words`.
+        """
+        if self._packed_tables_cache is None:
+            word = self._packed_word_dtype()
+            gen_words = [self._pack_word(g) for g in self.generators]
+            tables = []
+            for start in range(0, len(self.random_positions), self._PACKED_GROUP_BITS):
+                group = gen_words[start : start + self._PACKED_GROUP_BITS]
+                table = np.zeros(1 << len(group), dtype=word)
+                for i, gen in enumerate(group):
+                    half = 1 << i
+                    np.bitwise_xor(table[:half], word(gen), out=table[half : 2 * half])
+                tables.append(table)
+            self._packed_tables_cache = tables
+        return self._packed_tables_cache
+
+    def _unpack_words(self, packed: np.ndarray, num_shots: int) -> np.ndarray:
+        """Unpack (num_shots,) words back to (num_shots, k) uint8 bits."""
+        k = len(self.measured_qubits)
+        if sys.byteorder != "little":  # pragma: no cover - x86/arm are little
+            packed = packed.byteswap()
+        nbytes = packed.dtype.itemsize
+        bits = np.unpackbits(
+            packed.view(np.uint8).reshape(num_shots, nbytes),
+            axis=1,
+            bitorder="little",
+        )
+        return bits[:, :k]
+
+    def sample_fixed(
+        self, flips: np.ndarray, num_shots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Bulk-sample ``(num_shots, k)`` bits for one fixed trajectory.
+
+        ``flips`` comes from :meth:`frame_for_choices`; the only per-shot
+        randomness left is the uniform combination of the ideal circuit's
+        affine outcome generators — one uniform table-row draw and one
+        1-D gather-XOR per generator group, over packed words when k fits
+        a machine word (see :meth:`_packed_combination_tables`).
+        """
+        k = len(self.measured_qubits)
+        base = self.reference ^ flips
+        if not self.random_positions:
+            out = np.empty((num_shots, k), dtype=np.uint8)
+            out[:] = base
+            return out
+        word = self._packed_word_dtype()
+        if word is None:
+            # >64 measured qubits: fall back to the unpacked 2-D tables.
+            tables = self._combination_tables()
+            draws = rng.integers(0, len(tables[0]), size=num_shots, dtype=np.uint16)
+            out = np.take(tables[0] ^ base, draws, axis=0)
+            for table in tables[1:]:
+                draws = rng.integers(0, len(table), size=num_shots, dtype=np.uint16)
+                out ^= np.take(table, draws, axis=0)
+            return out
+        tables = self._packed_combination_tables()
+        # Fold the trajectory's fixed flips into the first table (a
+        # cache-sized copy) so the per-shot work is one uint16 draw + one
+        # 1-D gather per group — no extra full-size XOR pass per shot.
+        draws = rng.integers(
+            0, len(tables[0]) - 1, size=num_shots, dtype=np.uint16, endpoint=True
+        )
+        packed = np.take(tables[0] ^ word(self._pack_word(base)), draws)
+        for table in tables[1:]:
+            draws = rng.integers(
+                0, len(table) - 1, size=num_shots, dtype=np.uint16, endpoint=True
+            )
+            packed ^= np.take(table, draws)
+        return self._unpack_words(packed, num_shots)
 
     # ------------------------------------------------------------------ #
     # bulk sampling

@@ -36,6 +36,7 @@ __all__ = [
     "mirror_benchmark",
     "bernstein_vazirani",
     "qaoa_ring",
+    "surface_syndrome",
     "noisy",
     "WorkloadFamily",
     "register_workload",
@@ -191,6 +192,51 @@ def qaoa_ring(
     return circ
 
 
+#: Rotated distance-3 surface code ("surface-17") stabilizer supports over
+#: the 3x3 data grid (row-major indices 0..8).
+_SURFACE17_Z_STABILIZERS = ((0, 1, 3, 4), (4, 5, 7, 8), (2, 5), (3, 6))
+_SURFACE17_X_STABILIZERS = ((1, 2, 4, 5), (3, 4, 6, 7), (0, 1), (7, 8))
+
+
+def surface_syndrome(num_qubits: int, measure: bool = False) -> Circuit:
+    """Rotated d=3 surface-code syndrome extraction, pure Clifford.
+
+    Nine data qubits hold the code patch (prepared in ``|0...0>``, a Z
+    eigenstate); each extraction round reads all eight stabilizers into
+    eight *fresh* ancillas (the circuit model has terminal measurement
+    only, so rounds cannot reuse ancillas) — X stabilizers via
+    H·CX-fan·H, Z stabilizers via data-controlled CX.  Rounds are derived
+    from the width: ``(num_qubits - 9) // 8``, with any remainder qubits
+    idle (they measure deterministically to 0 and simply pad the register
+    to the requested width).
+
+    Every gate is H or CX, so the family is the QEC-shaped workload the
+    Clifford frame engine serves at widths far past the dense statevector
+    cap — a 33-qubit instance is three full rounds.
+    """
+    if num_qubits < 17:
+        raise CircuitError(
+            "surface_syndrome needs >= 17 qubits (9 data + 8 ancillas per round)"
+        )
+    rounds = (num_qubits - 9) // 8
+    circ = Circuit(num_qubits, name=f"surface_syndrome_{num_qubits}x{rounds}")
+    for r in range(rounds):
+        base = 9 + 8 * r
+        for i, support in enumerate(_SURFACE17_X_STABILIZERS):
+            ancilla = base + i
+            circ.h(ancilla)
+            for data in support:
+                circ.cx(ancilla, data)
+            circ.h(ancilla)
+        for i, support in enumerate(_SURFACE17_Z_STABILIZERS):
+            ancilla = base + len(_SURFACE17_X_STABILIZERS) + i
+            for data in support:
+                circ.cx(data, ancilla)
+    if measure:
+        circ.measure_all()
+    return circ
+
+
 def noisy(circuit: Circuit, noise_model) -> Circuit:
     """Interleave a noise model into an ideal circuit.
 
@@ -313,6 +359,18 @@ register_workload(
         min_width=2,
         max_width=16,
         description="Bernstein-Vazirani oracle (alternating secret string)",
+    )
+)
+register_workload(
+    WorkloadFamily(
+        name="surface_syndrome",
+        builder=lambda n, rng: surface_syndrome(n, measure=True),
+        min_width=17,
+        max_width=41,
+        description=(
+            "Rotated d=3 surface-code syndrome extraction "
+            "(pure Clifford; widths past the dense cap via the frame engine)"
+        ),
     )
 )
 register_workload(

@@ -46,6 +46,15 @@ def _default_fusion() -> str:
     return os.environ.get("REPRO_FUSION", "auto")
 
 
+def _default_routing() -> str:
+    """Routing default: the ``REPRO_ROUTING`` env var, else ``"auto"``.
+
+    Same CI-hook pattern as fusion: ``REPRO_ROUTING=dense`` pins
+    ``strategy="auto"`` to the pre-router dense dispatch for a whole run.
+    """
+    return os.environ.get("REPRO_ROUTING", "auto")
+
+
 @dataclass
 class Config:
     """Runtime knobs shared across the library.
@@ -83,6 +92,16 @@ class Config:
         wider ones use the generic batched-GEMM path (which also needs 3x
         instead of 2x workspace headroom per stacked row — see
         :meth:`repro.execution.sharded.ShardedExecutor`).
+    routing:
+        Engine routing for ``run_ptsbe(strategy="auto")``: ``"auto"``
+        (default — pure-Clifford circuits with Pauli-mixture noise go to
+        the batched Pauli-frame engine, everything else to the dense
+        dispatch; see :mod:`repro.execution.router`) or ``"dense"``
+        (always the pre-router dense resolution, for bitwise back-compat
+        of Clifford workloads previously served dense).  Overridable via
+        the ``REPRO_ROUTING`` environment variable (read at
+        :class:`Config` construction).  Explicit strategy names are never
+        rerouted.
     measured_cost_feedback:
         When ``True``, a :class:`~repro.execution.sharded.ShardedExecutor`
         refines its group-scheduling cost constants from the prep/sample
@@ -109,6 +128,7 @@ class Config:
     array_module: str = "auto"
     fusion: str = field(default_factory=_default_fusion)
     fusion_max_qubits: Optional[int] = None
+    routing: str = field(default_factory=_default_routing)
     measured_cost_feedback: bool = False
     atol: float = ATOL
     max_dense_qubits: int = 26

@@ -9,7 +9,11 @@ optionally fans them out over worker processes — the paper's
 ``(B, 2**n)`` tensor evolved in lockstep
 (:mod:`repro.execution.vectorized`), or composes both axes by sharding
 dedup groups across a device pool with stacked chunks per shard
-(:mod:`repro.execution.sharded`).  Results carry per-shot provenance
+(:mod:`repro.execution.sharded`), or — for pure-Clifford circuits with
+Pauli-mixture noise — skips dense states entirely with batched
+Pauli-frame propagation (:mod:`repro.execution.clifford`), which
+``strategy="auto"`` selects automatically via the per-circuit engine
+router (:mod:`repro.execution.router`).  Results carry per-shot provenance
 (:mod:`repro.execution.results`) and can be delivered incrementally —
 every strategy exposes ``execute_stream`` yielding per-trajectory
 :class:`~repro.execution.streaming.ShotChunk`\\ s as specs / stacks /
@@ -41,6 +45,13 @@ from repro.execution.scheduler import Scheduler, round_robin, greedy_by_cost
 from repro.execution.parallel import ParallelExecutor
 from repro.execution.vectorized import VectorizedExecutor
 from repro.execution.sharded import ShardedExecutor
+from repro.execution.clifford import CliffordFrameExecutor
+from repro.execution.router import (
+    CircuitProfile,
+    analyze_circuit,
+    clear_router_cache,
+    resolve_strategy,
+)
 
 __all__ = [
     "ShotTable",
@@ -63,4 +74,9 @@ __all__ = [
     "ParallelExecutor",
     "VectorizedExecutor",
     "ShardedExecutor",
+    "CliffordFrameExecutor",
+    "CircuitProfile",
+    "analyze_circuit",
+    "clear_router_cache",
+    "resolve_strategy",
 ]

@@ -194,6 +194,7 @@ class BatchedExecutor:
             measured_qubits=measured,
             seed=streams.seed,
             total_trajectories=len(specs),
+            engine="serial",
             retain=retain,
         )
 
@@ -220,13 +221,21 @@ def _build_sharded(backend, sample_kwargs, kwargs):
     return ShardedExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
 
 
+def _build_clifford(backend, sample_kwargs, kwargs):
+    from repro.execution.clifford import CliffordFrameExecutor
+
+    return CliffordFrameExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
+
+
 #: The strategy dispatch table: every BE engine behind one name.  ``"auto"``
-#: resolves to one of these before lookup.
+#: resolves to one of these before lookup (via the engine router — see
+#: :mod:`repro.execution.router`).
 STRATEGY_BUILDERS = {
     "serial": _build_serial,
     "parallel": _build_parallel,
     "vectorized": _build_vectorized,
     "sharded": _build_sharded,
+    "clifford": _build_clifford,
 }
 
 VALID_STRATEGIES = ("auto",) + tuple(STRATEGY_BUILDERS)
@@ -241,7 +250,9 @@ def _make_executor(
     """Resolve a strategy name to a constructed executor.
 
     Unknown names fail up front with the full list of valid strategies —
-    the misuse guard for ``run_ptsbe(strategy=...)``.
+    the misuse guard for ``run_ptsbe(strategy=...)``.  A bare ``"auto"``
+    here (no circuit in scope to route on) falls back to the dense
+    resolution; :func:`run_ptsbe_stream` routes before calling in.
     """
     kwargs = dict(executor_kwargs or {})
     if strategy == "auto":
@@ -278,8 +289,14 @@ def run_ptsbe(
     strategy:
         Which batched-execution engine realizes the specs:
 
-        * ``"auto"`` (default) — ``"vectorized"`` when ``backend`` is of
-          kind ``"batched_statevector"``, else ``"serial"``;
+        * ``"auto"`` (default) — routed per circuit by
+          :mod:`repro.execution.router`: pure-Clifford circuits with
+          Pauli-mixture noise go to ``"clifford"`` (unless
+          ``Config.routing="dense"``); everything else resolves exactly
+          as before — ``"vectorized"`` when ``backend`` is of kind
+          ``"batched_statevector"``, else ``"serial"``.  The decision is
+          recorded as ``result.routing`` and the engine that ran as
+          ``result.engine``;
         * ``"serial"`` — one :class:`BatchedExecutor` preparation per spec;
         * ``"parallel"`` — fan specs over a process pool
           (:class:`~repro.execution.parallel.ParallelExecutor`);
@@ -287,19 +304,26 @@ def run_ptsbe(
           (:class:`~repro.execution.vectorized.VectorizedExecutor`);
         * ``"sharded"`` — dedup groups binned across a device pool, each
           shard running chunked stacks sized to its device's memory
-          (:class:`~repro.execution.sharded.ShardedExecutor`).
+          (:class:`~repro.execution.sharded.ShardedExecutor`);
+        * ``"clifford"`` — batched Pauli-frame propagation for
+          pure-Clifford circuits with Pauli-mixture noise, at any width
+          (:class:`~repro.execution.clifford.CliffordFrameExecutor`).
 
         Unknown names are rejected up front with the list of valid
         strategies.
 
-        Every strategy draws identical per-trajectory shots for a fixed
+        Every *dense* strategy draws identical per-trajectory shots for a fixed
         ``seed``; shot tables also match row for row for specs in
         ascending trajectory-id order (what every PTS algorithm emits —
         ``"parallel"`` orders results by trajectory id, the others by
         spec position).  All dense strategies execute through the same
         compiled :class:`~repro.execution.plan.FusedPlan`, so the
         cross-strategy guarantee holds with gate/noise fusion on
-        (``Config.fusion="auto"``, the default) or off.
+        (``Config.fusion="auto"``, the default) or off.  ``"clifford"``
+        samples by a different stochastic mechanism (frame XORs instead
+        of dense amplitude sampling), so it matches the dense strategies
+        *distributionally* — exact per-trajectory conditionals and
+        weights — while its own seeded runs replay bitwise.
 
         The guarantee covers unseeded runs too: ``seed=None`` is resolved
         to **one** concrete root seed before anything draws from it — the
@@ -377,7 +401,17 @@ def run_ptsbe_stream(
     rng = streams.rng_for(0)
     pts_result = sampler.sample(circuit, rng)
     target = getattr(sampler, "twirled_circuit", None) or circuit
-    executor = _make_executor(backend, strategy, sample_kwargs, executor_kwargs)
-    return executor.execute_stream(
+    # Route "auto" on the circuit the executor will actually run (the
+    # twirled one, for circuit-rewriting samplers); explicit strategies
+    # pass through.  The decision trail rides on the stream/result.
+    from repro.execution.router import resolve_strategy
+
+    config = dict(backend.options).get("config") if isinstance(backend, BackendSpec) else None
+    target.freeze()
+    resolved, routing = resolve_strategy(target, backend, strategy, config)
+    executor = _make_executor(backend, resolved, sample_kwargs, executor_kwargs)
+    stream = executor.execute_stream(
         target, pts_result.specs, seed=streams.seed, retain=retain
     )
+    stream.routing = routing
+    return stream

@@ -144,5 +144,6 @@ class ParallelExecutor:
             measured_qubits=measured,
             seed=streams.seed,
             total_trajectories=len(specs),
+            engine="parallel",
             retain=retain,
         )

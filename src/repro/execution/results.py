@@ -141,6 +141,16 @@ class PTSBEResult:
     #: back as ``seed=``.  ``None`` only for results assembled outside the
     #: execution layer.
     seed: Optional[int] = None
+    #: Which execution engine realized the trajectories ("serial",
+    #: "parallel", "vectorized", "sharded", or "clifford").  ``None`` only
+    #: for results assembled outside the execution layer.
+    engine: Optional[str] = None
+    #: The router's decision trail for this run (set by
+    #: :func:`~repro.execution.batched.run_ptsbe_stream`): why
+    #: ``strategy="auto"`` picked the engine it did, or that the strategy
+    #: was explicitly requested.  ``None`` when execution was invoked
+    #: below the dispatch layer.
+    routing: Optional[str] = None
 
     @property
     def num_trajectories(self) -> int:

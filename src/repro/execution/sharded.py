@@ -410,5 +410,6 @@ class ShardedExecutor:
             seed=streams.seed,
             total_trajectories=len(specs),
             unique_preparations=len(groups),
+            engine="sharded",
             retain=retain,
         )

@@ -137,11 +137,17 @@ class StreamedResult:
         unique_preparations: Optional[int] = None,
         on_close: Optional[Callable[[], None]] = None,
         retain: bool = True,
+        engine: Optional[str] = None,
+        routing: Optional[str] = None,
     ):
         self._chunks = chunks
         self.measured_qubits = tuple(measured_qubits)
         self.seed = int(seed)
         self.unique_preparations = unique_preparations
+        #: Engine name of the executor that produced this stream; the
+        #: routing trail is attached by run_ptsbe_stream after dispatch.
+        self.engine = engine
+        self.routing = routing
         self.retain = bool(retain)
         self._total = int(total_trajectories)
         self._collected: List[TrajectoryResult] = []
@@ -246,6 +252,8 @@ class StreamedResult:
             sample_seconds=sum(t.sample_seconds for t in self._collected),
             unique_preparations=self.unique_preparations,
             seed=self.seed,
+            engine=self.engine,
+            routing=self.routing,
         )
 
     def __repr__(self) -> str:

@@ -210,5 +210,6 @@ class VectorizedExecutor:
             # time); a close() before the first chunk never enters the
             # generator, so its finally can't release — close() must.
             on_close=getattr(backend, "release", None),
+            engine="vectorized",
             retain=retain,
         )

@@ -24,7 +24,9 @@ naming what to cover and how hard to check it:
 
 ``sweeps`` entries cross their ``widths`` with their ``profiles``; the
 global axes (shot budget, sampler, strategies, oracle) apply to every
-resulting cell.  Validation happens at construction: unknown families,
+resulting cell.  An entry may carry its own ``strategies: [clifford]``
+override — how a wide Clifford family runs past the dense width cap
+while the rest of the spec keeps the dense cross-strategy matrix.  Validation happens at construction: unknown families,
 profiles, or strategies fail with the list of registered names, so a typo
 dies before any state is prepared.  Widths *outside a family's registered
 range* are not errors — the runner marks those cells ``skip`` so one spec
@@ -93,18 +95,43 @@ class OracleSpec:
 
 @dataclass(frozen=True)
 class FamilySweep:
-    """One circuit family crossed with widths and device noise profiles."""
+    """One circuit family crossed with widths and device noise profiles.
+
+    ``strategies`` optionally overrides the sweep-level strategy list for
+    this entry's cells — how a wide Clifford family routes around the
+    dense width cap (``[clifford]``) while the rest of the spec keeps the
+    dense cross-strategy matrix.
+    """
 
     family: str
     widths: Tuple[int, ...]
     profiles: Tuple[str, ...]
+    strategies: Optional[Tuple[str, ...]] = None
 
     def validate(self) -> "FamilySweep":
+        from repro.execution.batched import STRATEGY_BUILDERS
+
         if self.family not in workload_names():
             raise SweepSpecError(
                 f"unknown workload family {self.family!r}; "
                 f"registered: {', '.join(workload_names())}"
             )
+        if self.strategies is not None:
+            if not self.strategies:
+                raise SweepSpecError(
+                    f"family {self.family!r}: strategies override must be "
+                    "non-empty (omit it to inherit the sweep-level list)"
+                )
+            for s in self.strategies:
+                if s not in STRATEGY_BUILDERS:
+                    raise SweepSpecError(
+                        f"family {self.family!r}: unknown strategy {s!r}; "
+                        f"valid: {', '.join(sorted(STRATEGY_BUILDERS))}"
+                    )
+            if len(set(self.strategies)) != len(self.strategies):
+                raise SweepSpecError(
+                    f"family {self.family!r}: strategies must be unique"
+                )
         if not self.widths:
             raise SweepSpecError(f"family {self.family!r}: widths must be non-empty")
         for w in self.widths:
@@ -134,6 +161,9 @@ class CellSpec:
     sampler: str
     sampler_options: Tuple[Tuple[str, Any], ...]
     seed: int
+    #: Strategies this cell runs (the family entry's override, else the
+    #: sweep-level list — already resolved by :meth:`SweepSpec.expand`).
+    strategies: Tuple[str, ...] = ("serial", "vectorized")
 
     @property
     def cell_id(self) -> str:
@@ -211,6 +241,11 @@ class SweepSpec:
                             sampler=self.sampler,
                             sampler_options=self.sampler_options,
                             seed=self.seed,
+                            strategies=(
+                                sweep.strategies
+                                if sweep.strategies is not None
+                                else self.strategies
+                            ),
                         )
                     )
         return cells
@@ -236,6 +271,11 @@ class SweepSpec:
                     "family": s.family,
                     "widths": list(s.widths),
                     "profiles": list(s.profiles),
+                    **(
+                        {"strategies": list(s.strategies)}
+                        if s.strategies is not None
+                        else {}
+                    ),
                 }
                 for s in self.sweeps
             ],
@@ -292,14 +332,28 @@ def spec_from_dict(data: Mapping[str, Any]) -> SweepSpec:
         raise SweepSpecError("sweeps must be a list of family entries")
     for i, entry in enumerate(entries):
         entry = _require_mapping(entry, f"sweeps[{i}]")
-        _reject_unknown_keys(entry, ("family", "widths", "profiles"), f"sweeps[{i}]")
+        _reject_unknown_keys(
+            entry, ("family", "widths", "profiles", "strategies"), f"sweeps[{i}]"
+        )
         try:
             widths = tuple(int(w) for w in entry["widths"])
             profiles = tuple(str(p) for p in entry["profiles"])
             family = str(entry["family"])
         except KeyError as exc:
             raise SweepSpecError(f"sweeps[{i}] missing required key {exc}")
-        sweeps.append(FamilySweep(family=family, widths=widths, profiles=profiles))
+        entry_strategies = (
+            tuple(str(s) for s in entry["strategies"])
+            if "strategies" in entry
+            else None
+        )
+        sweeps.append(
+            FamilySweep(
+                family=family,
+                widths=widths,
+                profiles=profiles,
+                strategies=entry_strategies,
+            )
+        )
     sampler_options = _require_mapping(
         data.get("sampler_options", {}), "sampler_options"
     )

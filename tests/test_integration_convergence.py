@@ -46,7 +46,13 @@ class TestProportionalPTSBEExactness:
         """Deterministic enumeration down to 1e-5 coverage leaves only the
         triple-error tail; the weighted estimator is then near-exact."""
         exact = exact_distribution(noisy_ghz3)
-        result = run_ptsbe(noisy_ghz3, ExhaustivePTS(cutoff=1e-5, nshots=4000), seed=23)
+        # Pinned to the dense engine: the 0.015 threshold was calibrated
+        # against its draws (auto now routes this Clifford circuit to the
+        # frame engine, whose equally-valid draws differ per seed).
+        result = run_ptsbe(
+            noisy_ghz3, ExhaustivePTS(cutoff=1e-5, nshots=4000), seed=23,
+            strategy="serial",
+        )
         weighted = result.pooled_distribution(weighted=True)
         assert total_variation_distance(weighted, exact) < 0.015
 

@@ -372,7 +372,7 @@ class TestMeasuredCostFeedback:
 class TestStrategyDispatch:
     def test_run_ptsbe_sharded_strategy(self, noisy_ghz3):
         sampler = ProbabilisticPTS(nsamples=120, nshots=150)
-        serial = run_ptsbe(noisy_ghz3, sampler, seed=9)
+        serial = run_ptsbe(noisy_ghz3, sampler, seed=9, strategy="serial")
         sharded = run_ptsbe(
             noisy_ghz3, sampler, seed=9, strategy="sharded",
             executor_kwargs={"devices": 3},
@@ -394,7 +394,7 @@ class TestStrategyDispatch:
 
     def test_valid_strategies_constant(self):
         assert set(VALID_STRATEGIES) == {
-            "auto", "serial", "parallel", "vectorized", "sharded",
+            "auto", "serial", "parallel", "vectorized", "sharded", "clifford",
         }
 
 

@@ -65,8 +65,12 @@ class TestSpecParsing:
     def test_repo_smoke_spec_parses(self):
         spec = load_spec("benchmarks/sweeps/smoke.yaml")
         cells = spec.expand()
-        assert len(cells) == 4
-        assert len(cells) * len(spec.strategies) >= 8  # acceptance floor
+        assert len(cells) == 6
+        assert sum(len(c.strategies) for c in cells) >= 8  # acceptance floor
+        # The clifford-only cell rides past the dense width cap.
+        wide = [c for c in cells if c.family == "surface_syndrome"]
+        assert wide and wide[0].width >= 30
+        assert wide[0].strategies == ("clifford",)
 
     def test_unknown_family(self):
         with pytest.raises(SweepSpecError, match="unknown workload family"):

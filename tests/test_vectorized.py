@@ -239,19 +239,24 @@ class TestVectorizedEquivalence:
 
 
 class TestStrategyKnob:
-    def test_auto_picks_vectorized_for_batched_kind(self, noisy_ghz3):
+    def test_auto_picks_vectorized_for_batched_kind(self, mixed_noise_circuit):
+        # A non-Clifford circuit (t gate): the engine router declines
+        # frames, so auto must resolve to the pre-router dense dispatch.
         sampler = ProbabilisticPTS(nsamples=100, nshots=200)
-        serial = run_ptsbe(noisy_ghz3, sampler, seed=9)
-        auto = run_ptsbe(noisy_ghz3, sampler, BackendSpec.batched_statevector(), seed=9)
-        explicit = run_ptsbe(noisy_ghz3, sampler, seed=9, strategy="vectorized")
+        serial = run_ptsbe(mixed_noise_circuit, sampler, seed=9, strategy="serial")
+        auto = run_ptsbe(
+            mixed_noise_circuit, sampler, BackendSpec.batched_statevector(), seed=9
+        )
+        explicit = run_ptsbe(mixed_noise_circuit, sampler, seed=9, strategy="vectorized")
         np.testing.assert_array_equal(serial.shot_table().bits, auto.shot_table().bits)
         np.testing.assert_array_equal(serial.shot_table().bits, explicit.shot_table().bits)
+        assert auto.engine == "vectorized"
         assert auto.unique_preparations is not None
         assert serial.unique_preparations is None
 
     def test_parallel_strategy(self, noisy_ghz3):
         sampler = ProbabilisticPTS(nsamples=100, nshots=100)
-        serial = run_ptsbe(noisy_ghz3, sampler, seed=9)
+        serial = run_ptsbe(noisy_ghz3, sampler, seed=9, strategy="serial")
         parallel = run_ptsbe(
             noisy_ghz3, sampler, seed=9, strategy="parallel",
             executor_kwargs={"num_workers": 2},
