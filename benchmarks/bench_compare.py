@@ -49,7 +49,13 @@ except ImportError:  # direct script invocation: python benchmarks/bench_compare
 #: and time-to-first-chunk / renorm-time are newer columns older baselines
 #: lack — keeping them out of identity lets a fresh run still match a
 #: committed baseline).
-TIME_COLUMNS = ("seconds", "first_chunk_seconds", "renorm_seconds")
+TIME_COLUMNS = (
+    "seconds",
+    "first_chunk_seconds",
+    "renorm_seconds",
+    "prep_seconds",
+    "sample_seconds",
+)
 
 
 def row_key(row: Dict[str, Any], metric: str) -> Tuple:

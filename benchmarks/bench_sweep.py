@@ -19,7 +19,8 @@ artifact in ``--out-dir``:
         --spec benchmarks/sweeps/smoke.yaml --out-dir sweep-out
 
 Exit status: 0 every executed cell passed its oracle, 1 at least one
-cell failed, 2 usage/spec error.
+cell failed (or, under ``--strict``, exceeded its wall-clock budget),
+2 usage/spec error.
 """
 
 from __future__ import annotations
@@ -83,6 +84,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip writing per-cell BENCH_*.json documents",
     )
     parser.add_argument(
+        "--strict", action="store_true",
+        help="also exit nonzero when a cell exceeds its wall-clock budget",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list registered workload families and noise profiles, then exit",
     )
@@ -136,9 +141,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     combos = result.verified_combos()
     print(
         f"cells: {counts['pass']} pass, {counts['fail']} fail, "
-        f"{counts['skip']} skip; verified combos: {len(combos)}"
+        f"{counts['skip']} skip, {counts['timeout']} timeout; "
+        f"verified combos: {len(combos)}"
     )
     if result.failed:
+        print(render_markdown(result), file=sys.stderr)
+        return 1
+    if args.strict and result.timed_out:
         print(render_markdown(result), file=sys.stderr)
         return 1
     return 0

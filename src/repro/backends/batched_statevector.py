@@ -168,7 +168,17 @@ class BatchedStatevectorBackend:
                 f"stack of {b} x 2**{self.num_qubits} amplitudes exceeds the dense "
                 f"budget of 2**{self._config.max_dense_qubits} (max {self.max_batch_rows} rows)"
             )
-        self._stack = self._xp.zeros((b, self._dim), dtype=self._config.dtype)
+        try:
+            self._stack = self._xp.zeros((b, self._dim), dtype=self._config.dtype)
+        except MemoryError as exc:
+            # Within the configured budget but past what the host actually
+            # has: surface the same actionable error type as the cap check
+            # instead of a raw allocation failure.
+            raise CapacityError(
+                f"allocating a {b} x 2**{self.num_qubits} dense stack ran out "
+                f"of memory; lower the batch size or use strategy "
+                f"'tensornet'/'clifford' for wide circuits"
+            ) from exc
         self._stack[:, 0] = 1.0
         self._alive = np.ones(b, dtype=bool)
         self._invalidate()

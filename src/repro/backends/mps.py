@@ -29,10 +29,10 @@ from repro.backends.mps_sampler import (
 )
 from repro.config import Config, DEFAULT_CONFIG
 from repro.errors import BackendError
-from repro.linalg.decompositions import truncated_svd
+from repro.linalg.decompositions import truncated_svd, truncated_svd_batched
 from repro.linalg.kron import permute_operator_qubits
 
-__all__ = ["MPSBackend"]
+__all__ = ["MPSBackend", "BatchedMPSStack"]
 
 _SWAP = np.array(
     [
@@ -268,4 +268,167 @@ class MPSBackend(PureStateBackend):
         return (
             f"MPSBackend(qubits={self.num_qubits}, max_bond={self.max_bond}, "
             f"chi={chi}, trunc_err={self.truncation_error:.2e})"
+        )
+
+
+class BatchedMPSStack:
+    """``B`` independent MPS states stacked along a leading batch axis.
+
+    Site tensors have shape ``(B, D_l, 2, D_r)``: every trajectory in a
+    dedup chunk shares one swap-routed gate schedule, so gate application
+    and truncated SVDs become single batched einsum / GEMM calls over the
+    whole stack instead of ``B`` Python-level replays.  Bond dimensions are
+    kept *common* across rows (batched SVD retains the widest row's rank —
+    see :func:`repro.linalg.decompositions.truncated_svd_batched`), which
+    is what keeps the stack rectangular.
+
+    The stack is deliberately **never renormalized mid-run**: each Kraus
+    operator application scales a row's norm by its branch probability, so
+    the final unnormalized squared norm per row telescopes to exactly the
+    trajectory weight (times any truncation losses).  The executor reads
+    both the weights and the sampling cache from one
+    :func:`~repro.backends.mps_sampler.compute_right_environments_batched`
+    pass at the end.  SVD cutoffs are relative to each row's largest
+    singular value, so the unnormalized scale never distorts truncation.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        batch_size: int,
+        max_bond: Optional[int] = None,
+        cutoff: Optional[float] = None,
+        config: Optional[Config] = None,
+    ):
+        config = config or DEFAULT_CONFIG
+        if num_qubits <= 0:
+            raise BackendError(f"num_qubits must be positive, got {num_qubits}")
+        if batch_size <= 0:
+            raise BackendError(f"batch_size must be positive, got {batch_size}")
+        self.num_qubits = int(num_qubits)
+        self.batch_size = int(batch_size)
+        self._config = config
+        self.max_bond = int(
+            max_bond if max_bond is not None else config.resolved_tensornet_max_bond()
+        )
+        self.cutoff = float(
+            cutoff if cutoff is not None else config.resolved_tensornet_cutoff()
+        )
+        if self.max_bond < 1:
+            raise BackendError("max_bond must be >= 1")
+        self.tensors: List[np.ndarray] = []
+        self.truncation_error = np.zeros(self.batch_size)
+        self.reset()
+
+    def reset(self) -> None:
+        zero = np.zeros((self.batch_size, 1, 2, 1), dtype=np.complex128)
+        zero[:, 0, 0, 0] = 1.0
+        self.tensors = [zero.copy() for _ in range(self.num_qubits)]
+        self.truncation_error = np.zeros(self.batch_size)
+
+    def bond_dimensions(self) -> List[int]:
+        return [self.tensors[k].shape[3] for k in range(self.num_qubits - 1)]
+
+    def row_tensors(self, m: int) -> List[np.ndarray]:
+        """Zero-copy ``(D_l, 2, D_r)`` views of row ``m``'s site tensors."""
+        return [t[m] for t in self.tensors]
+
+    # ------------------------------------------------------------------ #
+    # batched gate application (adjacency is the compiler's job)
+    # ------------------------------------------------------------------ #
+    def apply_1q(self, matrix: np.ndarray, q: int) -> None:
+        """One shared 2x2 matrix applied to site ``q`` of every row."""
+        self.tensors[q] = np.einsum(
+            "oi,maib->maob", matrix, self.tensors[q], optimize=True
+        )
+
+    def apply_1q_rows(self, mats: np.ndarray, q: int) -> None:
+        """Per-row ``(B, 2, 2)`` operators applied to site ``q``."""
+        self.tensors[q] = np.einsum(
+            "moi,maib->maob", mats, self.tensors[q], optimize=True
+        )
+
+    def apply_adjacent(self, matrix: np.ndarray, q: int) -> None:
+        """One shared 4x4 matrix on adjacent sites ``(q, q+1)``."""
+        theta, dl, dr = self._merge_pair(q)
+        gate = matrix.reshape(2, 2, 2, 2)
+        theta = np.einsum("abij,mlijs->mlabs", gate, theta, optimize=True)
+        self._split_pair(theta, q, dl, dr)
+
+    def apply_adjacent_rows(self, mats: np.ndarray, q: int) -> None:
+        """Per-row ``(B, 4, 4)`` operators on adjacent sites ``(q, q+1)``."""
+        theta, dl, dr = self._merge_pair(q)
+        gates = mats.reshape(self.batch_size, 2, 2, 2, 2)
+        theta = np.einsum("mabij,mlijs->mlabs", gates, theta, optimize=True)
+        self._split_pair(theta, q, dl, dr)
+
+    def apply_3site(self, matrix: np.ndarray, q: int) -> None:
+        """One shared 8x8 matrix on contiguous sites ``(q, q+1, q+2)``.
+
+        This is the fused k<=3 window primitive: three sites are merged,
+        the operator is applied once, and the blob is split back with two
+        batched truncated SVDs.
+        """
+        a, b, c = self.tensors[q], self.tensors[q + 1], self.tensors[q + 2]
+        dl, dt = a.shape[1], c.shape[3]
+        theta = np.einsum("mlir,mrjs->mlijs", a, b, optimize=True)
+        theta = np.einsum("mlijs,mskt->mlijkt", theta, c, optimize=True)
+        gate = matrix.reshape(2, 2, 2, 2, 2, 2)
+        theta = np.einsum("abcijk,mlijkt->mlabct", gate, theta, optimize=True)
+        # Split left site off: (B, dl*2, 4*dt)
+        mat = theta.reshape(self.batch_size, dl * 2, 4 * dt)
+        u, s, vh, k1, disc = truncated_svd_batched(
+            mat, max_rank=self.max_bond, cutoff=self.cutoff
+        )
+        self.truncation_error += disc
+        self.tensors[q] = u.reshape(self.batch_size, dl, 2, k1)
+        rest = (s[:, :, None] * vh).reshape(self.batch_size, k1 * 2, 2 * dt)
+        u, s, vh, k2, disc = truncated_svd_batched(
+            rest, max_rank=self.max_bond, cutoff=self.cutoff
+        )
+        self.truncation_error += disc
+        self.tensors[q + 1] = u.reshape(self.batch_size, k1, 2, k2)
+        self.tensors[q + 2] = (s[:, :, None] * vh).reshape(self.batch_size, k2, 2, dt)
+
+    def _merge_pair(self, q: int):
+        a, b = self.tensors[q], self.tensors[q + 1]
+        dl, dr = a.shape[1], b.shape[3]
+        theta = np.einsum("mlir,mrjs->mlijs", a, b, optimize=True)
+        return theta, dl, dr
+
+    def _split_pair(self, theta: np.ndarray, q: int, dl: int, dr: int) -> None:
+        mat = theta.reshape(self.batch_size, dl * 2, 2 * dr)
+        u, s, vh, kept, disc = truncated_svd_batched(
+            mat, max_rank=self.max_bond, cutoff=self.cutoff
+        )
+        self.truncation_error += disc
+        self.tensors[q] = u.reshape(self.batch_size, dl, 2, kept)
+        self.tensors[q + 1] = (s[:, :, None] * vh).reshape(self.batch_size, kept, 2, dr)
+
+    # ------------------------------------------------------------------ #
+    # norms (mostly for tests; the executor reads weights from the
+    # batched environment pass instead)
+    # ------------------------------------------------------------------ #
+    def norms_squared(self) -> np.ndarray:
+        """Per-row unnormalized squared norm (= running trajectory weight)."""
+        env = np.ones((self.batch_size, 1, 1), dtype=np.complex128)
+        for a in self.tensors:
+            tmp = np.einsum("mca,maib->mcib", env, a, optimize=True)
+            env = np.einsum("mcid,mcib->mdb", a.conj(), tmp, optimize=True)
+        return env[:, 0, 0].real.copy()
+
+    def row_statevector(self, m: int) -> np.ndarray:
+        """Contract row ``m`` to a dense statevector (<= ~20 qubits)."""
+        if self.num_qubits > 20:
+            raise BackendError("row_statevector limited to <= 20 qubits")
+        acc = self.tensors[0][m]
+        for a in self.tensors[1:]:
+            acc = np.tensordot(acc, a[m], axes=([acc.ndim - 1], [0]))
+        return np.ascontiguousarray(acc).reshape(-1)
+
+    def __repr__(self) -> str:
+        chi = max(self.bond_dimensions(), default=1)
+        return (
+            f"BatchedMPSStack(qubits={self.num_qubits}, B={self.batch_size}, "
+            f"max_bond={self.max_bond}, chi={chi})"
         )

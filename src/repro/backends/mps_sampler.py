@@ -31,7 +31,12 @@ import numpy as np
 
 from repro.errors import BackendError
 
-__all__ = ["compute_right_environments", "sample_cached", "sample_naive"]
+__all__ = [
+    "compute_right_environments",
+    "compute_right_environments_batched",
+    "sample_cached",
+    "sample_naive",
+]
 
 
 def compute_right_environments(tensors: Sequence[np.ndarray]) -> List[np.ndarray]:
@@ -48,6 +53,35 @@ def compute_right_environments(tensors: Sequence[np.ndarray]) -> List[np.ndarray
         # (a i b), (b c) -> (a i c); then against conj (d i c) -> (a d)
         tmp = np.tensordot(a, envs[k + 1], axes=([2], [0]))
         envs[k] = np.tensordot(tmp, a.conj(), axes=([1, 2], [1, 2]))
+    return envs
+
+
+def compute_right_environments_batched(
+    tensors: Sequence[np.ndarray],
+) -> List[np.ndarray]:
+    """Batched right environments for a trajectory-stacked MPS.
+
+    ``tensors[k]`` is ``(B, Dl, 2, Dr)``; the returned ``envs[k]`` is
+    ``(B, Dl, Dl)`` — one independent environment chain per batch row,
+    computed with two batched einsums per site instead of ``B`` separate
+    :func:`compute_right_environments` sweeps.
+
+    Because the stack is *not* renormalized during gate replay,
+    ``envs[0][:, 0, 0].real`` is each row's unnormalized squared norm —
+    exactly the trajectory weight (product of realized Kraus branch
+    probabilities, less truncation losses), which the tensornet executor
+    reads off for free from this same pass.
+    """
+    n = len(tensors)
+    if n == 0:
+        return [np.ones((1, 1, 1), dtype=np.complex128)]
+    batch = tensors[-1].shape[0]
+    envs: List[np.ndarray] = [None] * (n + 1)  # type: ignore[list-item]
+    envs[n] = np.ones((batch, 1, 1), dtype=tensors[-1].dtype)
+    for k in range(n - 1, -1, -1):
+        a = tensors[k]
+        tmp = np.einsum("maib,mbc->maic", a, envs[k + 1], optimize=True)
+        envs[k] = np.einsum("maic,mdic->mad", tmp, a.conj(), optimize=True)
     return envs
 
 

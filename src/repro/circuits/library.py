@@ -339,7 +339,9 @@ register_workload(
         name="brickwork",
         builder=lambda n, rng: random_brickwork(n, depth=3, rng=rng, measure=True),
         min_width=2,
-        max_width=14,
+        # Wide enough to exercise the past-dense-cap tensornet strategy
+        # (depth-3 brickwork stays at modest bond dimension at any width).
+        max_width=64,
         description="Random brickwork, depth 3 (seeded 1q rotations + CZ layers)",
     )
 )

@@ -11,9 +11,11 @@ optionally fans them out over worker processes — the paper's
 dedup groups across a device pool with stacked chunks per shard
 (:mod:`repro.execution.sharded`), or — for pure-Clifford circuits with
 Pauli-mixture noise — skips dense states entirely with batched
-Pauli-frame propagation (:mod:`repro.execution.clifford`), which
-``strategy="auto"`` selects automatically via the per-circuit engine
-router (:mod:`repro.execution.router`).  Results carry per-shot provenance
+Pauli-frame propagation (:mod:`repro.execution.clifford`), or — past the
+dense width cap — replays one compiled gate schedule over a
+trajectory-stacked truncated MPS (:mod:`repro.execution.tensornet`);
+the last two are what ``strategy="auto"`` selects automatically via the
+per-circuit engine router (:mod:`repro.execution.router`).  Results carry per-shot provenance
 (:mod:`repro.execution.results`) and can be delivered incrementally —
 every strategy exposes ``execute_stream`` yielding per-trajectory
 :class:`~repro.execution.streaming.ShotChunk`\\ s as specs / stacks /
@@ -46,6 +48,7 @@ from repro.execution.parallel import ParallelExecutor
 from repro.execution.vectorized import VectorizedExecutor
 from repro.execution.sharded import ShardedExecutor
 from repro.execution.clifford import CliffordFrameExecutor
+from repro.execution.tensornet import TensorNetExecutor, compile_schedule
 from repro.execution.router import (
     CircuitProfile,
     analyze_circuit,
@@ -75,6 +78,8 @@ __all__ = [
     "VectorizedExecutor",
     "ShardedExecutor",
     "CliffordFrameExecutor",
+    "TensorNetExecutor",
+    "compile_schedule",
     "CircuitProfile",
     "analyze_circuit",
     "clear_router_cache",

@@ -33,7 +33,8 @@ from repro.backends.base import PureStateBackend
 from repro.backends.mps import MPSBackend
 from repro.backends.statevector import StatevectorBackend
 from repro.circuits.circuit import Circuit
-from repro.errors import ExecutionError, ZeroProbabilityTrajectory
+from repro.config import DEFAULT_CONFIG
+from repro.errors import CapacityError, ExecutionError, ZeroProbabilityTrajectory
 from repro.execution.results import PTSBEResult, TrajectoryResult
 from repro.execution.streaming import StreamedResult
 from repro.pts.base import PTSAlgorithm, PTSResult, TrajectorySpec
@@ -44,6 +45,7 @@ __all__ = [
     "BatchedExecutor",
     "run_ptsbe",
     "run_ptsbe_stream",
+    "DENSE_STRATEGIES",
     "VALID_STRATEGIES",
 ]
 
@@ -227,6 +229,12 @@ def _build_clifford(backend, sample_kwargs, kwargs):
     return CliffordFrameExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
 
 
+def _build_tensornet(backend, sample_kwargs, kwargs):
+    from repro.execution.tensornet import TensorNetExecutor
+
+    return TensorNetExecutor(backend, sample_kwargs=sample_kwargs, **kwargs)
+
+
 #: The strategy dispatch table: every BE engine behind one name.  ``"auto"``
 #: resolves to one of these before lookup (via the engine router — see
 #: :mod:`repro.execution.router`).
@@ -236,7 +244,13 @@ STRATEGY_BUILDERS = {
     "vectorized": _build_vectorized,
     "sharded": _build_sharded,
     "clifford": _build_clifford,
+    "tensornet": _build_tensornet,
 }
+
+#: The strategies that materialize dense ``2**n`` statevectors and are
+#: therefore bounded by ``Config.max_dense_qubits``.  ``"clifford"`` and
+#: ``"tensornet"`` live outside the cap.
+DENSE_STRATEGIES = ("serial", "parallel", "vectorized", "sharded")
 
 VALID_STRATEGIES = ("auto",) + tuple(STRATEGY_BUILDERS)
 
@@ -267,6 +281,34 @@ def _make_executor(
     return builder(backend, sample_kwargs, kwargs)
 
 
+def _check_dense_capacity(circuit, backend, resolved: str, config) -> None:
+    """Refuse over-cap dense dispatches with an actionable error.
+
+    Without this, an oversized run surfaces as a raw ``MemoryError`` from
+    the ``(B, 2**n)`` allocation (or an opaque backend failure) deep in
+    the executor.  The check fires only for the dense strategies on the
+    built-in dense backend kinds — a custom backend factory is the
+    caller's own capacity contract.
+    """
+    if resolved not in DENSE_STRATEGIES:
+        return
+    if not isinstance(backend, BackendSpec):
+        return
+    if backend.kind not in ("statevector", "batched_statevector"):
+        return
+    cfg = config or DEFAULT_CONFIG
+    width = circuit.num_qubits
+    if width <= cfg.max_dense_qubits:
+        return
+    raise CapacityError(
+        f"circuit width {width} exceeds the dense width cap "
+        f"(Config.max_dense_qubits={cfg.max_dense_qubits}), so dense "
+        f"strategy {resolved!r} cannot serve it; strategies that can: "
+        f"'tensornet' (trajectory-stacked truncated MPS, any circuit) and "
+        f"'clifford' (pure-Clifford circuits with Pauli-mixture noise)"
+    )
+
+
 def run_ptsbe(
     circuit: Circuit,
     sampler: PTSAlgorithm,
@@ -291,7 +333,9 @@ def run_ptsbe(
 
         * ``"auto"`` (default) — routed per circuit by
           :mod:`repro.execution.router`: pure-Clifford circuits with
-          Pauli-mixture noise go to ``"clifford"`` (unless
+          Pauli-mixture noise go to ``"clifford"``, circuits wider than
+          ``Config.max_dense_qubits`` that the clifford engine cannot
+          serve go to ``"tensornet"`` (both unless
           ``Config.routing="dense"``); everything else resolves exactly
           as before — ``"vectorized"`` when ``backend`` is of kind
           ``"batched_statevector"``, else ``"serial"``.  The decision is
@@ -307,10 +351,21 @@ def run_ptsbe(
           (:class:`~repro.execution.sharded.ShardedExecutor`);
         * ``"clifford"`` — batched Pauli-frame propagation for
           pure-Clifford circuits with Pauli-mixture noise, at any width
-          (:class:`~repro.execution.clifford.CliffordFrameExecutor`).
+          (:class:`~repro.execution.clifford.CliffordFrameExecutor`);
+        * ``"tensornet"`` — trajectory-stacked truncated-MPS contraction
+          past the dense width cap: one swap-routed gate schedule
+          compiled per circuit, replayed over a ``(B, D_l, 2, D_r)``
+          batched stack with only the per-trajectory Kraus operators
+          varying (:class:`~repro.execution.tensornet.TensorNetExecutor`).
+          ``strategy="auto"`` routes here for circuits wider than
+          ``Config.max_dense_qubits`` that the clifford engine cannot
+          serve.
 
         Unknown names are rejected up front with the list of valid
-        strategies.
+        strategies.  Dense strategies refuse circuits wider than
+        ``Config.max_dense_qubits`` at dispatch with a
+        :class:`~repro.errors.CapacityError` naming the strategies that
+        can serve the width.
 
         Every *dense* strategy draws identical per-trajectory shots for a fixed
         ``seed``; shot tables also match row for row for specs in
@@ -409,6 +464,7 @@ def run_ptsbe_stream(
     config = dict(backend.options).get("config") if isinstance(backend, BackendSpec) else None
     target.freeze()
     resolved, routing = resolve_strategy(target, backend, strategy, config)
+    _check_dense_capacity(target, backend, resolved, config)
     executor = _make_executor(backend, resolved, sample_kwargs, executor_kwargs)
     stream = executor.execute_stream(
         target, pts_result.specs, seed=streams.seed, retain=retain

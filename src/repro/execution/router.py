@@ -10,6 +10,12 @@ Pauli-frame fast path (:mod:`repro.execution.clifford`):
   noise channel is a Pauli mixture — then per-trajectory conditionals and
   weights match the dense engines exactly, at millions of shots/s and
   independent of width;
+* **tensornet** serves circuits the dense strategies *cannot*: widths
+  past ``Config.max_dense_qubits`` (up to ``Config.max_tensornet_qubits``)
+  that are not frame-eligible route to the trajectory-stacked truncated
+  MPS (:mod:`repro.execution.tensornet`) — conformance there is
+  distributional (truncation perturbs amplitudes), which is the right
+  contract for a workload no exact dense engine can run at all;
 * **everything else** falls back to the pre-router dense resolution
   (``"vectorized"`` for a ``batched_statevector`` backend spec, else
   ``"serial"``) — bit-for-bit the same dispatch as before this module
@@ -178,8 +184,14 @@ def resolve_strategy(
     ``Config.routing == "dense"``          dense auto (vectorized/serial)
     backend is a factory or ``"mps"``      dense auto (explicit backend)
     pure Clifford + Pauli-mixture noise    ``"clifford"`` (frames)
+    width > ``Config.max_dense_qubits``    ``"tensornet"`` (stacked MPS)
     any non-Clifford gate / other channel  dense auto (vectorized/serial)
     =====================================  ==========================
+
+    The tensornet tier sits *after* the frame check (frames are exact and
+    cheaper when applicable) and only fires up to
+    ``Config.max_tensornet_qubits``; past that, the dense resolution is
+    returned and dispatch raises its capacity error.
     """
     from repro.execution.batched import BackendSpec
 
@@ -201,6 +213,14 @@ def resolve_strategy(
     profile = analyze_circuit(circuit)
     if profile.frame_eligible:
         return "clifford", f"auto->clifford: {profile.reason}"
+    width = circuit.num_qubits
+    if config.max_dense_qubits < width <= config.max_tensornet_qubits:
+        return (
+            "tensornet",
+            f"auto->tensornet: width {width} exceeds the dense cap "
+            f"(max_dense_qubits={config.max_dense_qubits}) and "
+            f"{profile.reason}",
+        )
     return dense, f"auto->{dense}: {profile.reason}"
 
 

@@ -32,7 +32,11 @@ from repro.linalg.unitary import (
     random_statevector,
     random_unitary,
 )
-from repro.linalg.decompositions import truncated_svd, schmidt_decomposition
+from repro.linalg.decompositions import (
+    truncated_svd,
+    truncated_svd_batched,
+    schmidt_decomposition,
+)
 
 __all__ = [
     "ArrayBackend",
@@ -58,5 +62,6 @@ __all__ = [
     "random_statevector",
     "random_unitary",
     "truncated_svd",
+    "truncated_svd_batched",
     "schmidt_decomposition",
 ]

@@ -12,7 +12,12 @@ from typing import NamedTuple, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["TruncationInfo", "truncated_svd", "schmidt_decomposition"]
+__all__ = [
+    "TruncationInfo",
+    "truncated_svd",
+    "truncated_svd_batched",
+    "schmidt_decomposition",
+]
 
 
 class TruncationInfo(NamedTuple):
@@ -65,6 +70,58 @@ def truncated_svd(
     discarded = 0.0 if total == 0.0 else max(0.0, 1.0 - kept_weight / total)
     info = TruncationInfo(kept=rank, discarded_weight=discarded)
     return u[:, :rank], s[:rank], vh[:rank, :], info
+
+
+def truncated_svd_batched(
+    mats: np.ndarray,
+    max_rank: Optional[int] = None,
+    cutoff: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, np.ndarray]:
+    """Batched :func:`truncated_svd` over the leading axis.
+
+    All rows are truncated to one *common* kept rank so the batch stays a
+    rectangular array: the rank is the maximum of the per-row ranks that
+    serial truncation would have chosen (then clamped to ``max_rank``).
+    Keeping extra genuine singular values for a row only improves its
+    accuracy, so per-row results remain at least as accurate as the serial
+    path would have been at the same ``max_rank``/``cutoff``.
+
+    Parameters
+    ----------
+    mats:
+        ``(B, m, n)`` stack of matrices to factor.
+    max_rank:
+        Keep at most this many singular values per row (``None`` = no limit).
+    cutoff:
+        Drop singular values ``s_i`` with ``s_i < cutoff * s_0``, judged
+        per row against that row's largest singular value.
+
+    Returns
+    -------
+    (u, s, vh, kept, discarded):
+        ``u`` is ``(B, m, kept)``, ``s`` is ``(B, kept)``, ``vh`` is
+        ``(B, kept, n)``; ``kept`` is the common retained rank and
+        ``discarded`` the ``(B,)`` per-row relative discarded weight
+        (same semantics as :class:`TruncationInfo.discarded_weight`).
+    """
+    mats = np.asarray(mats)
+    u, s, vh = np.linalg.svd(mats, full_matrices=False)
+    batch, full_rank = s.shape
+    totals = np.sum(s**2, axis=1)
+    rank = full_rank
+    if cutoff > 0.0 and full_rank > 0:
+        # Per-row relative cutoff; the batch keeps the widest row's rank.
+        keep = s >= cutoff * s[:, :1]
+        per_row = np.maximum(1, keep.sum(axis=1))
+        rank = int(per_row.max()) if batch else 1
+    if max_rank is not None:
+        rank = max(1, min(rank, int(max_rank)))
+    kept_weight = np.sum(s[:, :rank] ** 2, axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        discarded = np.where(
+            totals == 0.0, 0.0, np.maximum(0.0, 1.0 - kept_weight / np.where(totals == 0.0, 1.0, totals))
+        )
+    return u[:, :, :rank], s[:, :rank], vh[:, :rank, :], rank, discarded
 
 
 def schmidt_decomposition(

@@ -15,7 +15,7 @@ import json
 from typing import Any, Dict, List, Optional
 
 from repro.sweep.oracle import FAIL, PASS, SKIP
-from repro.sweep.runner import CellResult, SweepResult
+from repro.sweep.runner import TIMEOUT, CellResult, SweepResult
 
 __all__ = [
     "coverage_matrix",
@@ -24,7 +24,7 @@ __all__ = [
     "write_report",
 ]
 
-_STATUS_MARK = {PASS: "✓", FAIL: "✗", SKIP: "–"}
+_STATUS_MARK = {PASS: "✓", FAIL: "✗", SKIP: "–", TIMEOUT: "⏱"}
 
 
 def _format_rate(rate: float) -> str:
@@ -55,7 +55,13 @@ def coverage_matrix(result: SweepResult) -> List[Dict[str, Any]]:
             continue
         verified = set(cell.verified_strategies())
         for outcome in cell.outcomes:
-            combo_status = PASS if outcome.strategy in verified else FAIL
+            if cell.status == TIMEOUT:
+                # The cell's checks passed but it blew its wall-clock
+                # budget: the combo is not *verified*, but it is not a
+                # conformance failure either.
+                combo_status = TIMEOUT if outcome.verified else FAIL
+            else:
+                combo_status = PASS if outcome.strategy in verified else FAIL
             records.append(
                 {
                     "family": cell.spec.family,
@@ -76,8 +82,11 @@ def _cell_label(cell: CellResult, strategy: str) -> str:
     outcome = cell.outcome(strategy)
     if outcome is None:
         return _STATUS_MARK[SKIP]
-    ok = strategy in cell.verified_strategies()
-    mark = _STATUS_MARK[PASS] if ok else _STATUS_MARK[FAIL]
+    if cell.status == TIMEOUT:
+        mark = _STATUS_MARK[TIMEOUT] if outcome.verified else _STATUS_MARK[FAIL]
+    else:
+        ok = strategy in cell.verified_strategies()
+        mark = _STATUS_MARK[PASS] if ok else _STATUS_MARK[FAIL]
     return f"{mark} {_format_rate(outcome.shots_per_second)}"
 
 
@@ -96,12 +105,14 @@ def render_markdown(result: SweepResult) -> str:
         f"# Sweep coverage matrix — `{spec.name}`",
         "",
         f"- cells: {len(result.cells)} "
-        f"(pass {counts[PASS]}, fail {counts[FAIL]}, skip {counts[SKIP]})",
+        f"(pass {counts[PASS]}, fail {counts[FAIL]}, skip {counts[SKIP]}, "
+        f"timeout {counts[TIMEOUT]})",
         f"- verified (family × width × strategy) combos: {len(combos)}",
         f"- strategies: {', '.join(spec.strategies)} · sampler: {spec.sampler} "
         f"· shots/cell: {spec.shots} · seed: {spec.seed}",
         "",
-        "Cell entries: `✓ shots/s` verified, `✗` oracle failure, `–` skipped. "
+        "Cell entries: `✓ shots/s` verified, `✗` oracle failure, `–` skipped, "
+        "`⏱` over wall-clock budget. "
         "`dm oracle` is the density-matrix distribution tier "
         "(pass/fail/skip + TVD).",
         "",
@@ -139,6 +150,16 @@ def render_markdown(result: SweepResult) -> str:
                 if finding.status == FAIL:
                     lines.append(f"- `{cell.cell_id}` {finding.check}: {finding.detail}")
         lines.append("")
+    timeouts = [c for c in result.cells if c.status == TIMEOUT]
+    if timeouts:
+        lines.append("## Timeouts")
+        lines.append("")
+        for cell in timeouts:
+            lines.append(
+                f"- `{cell.cell_id}`: {cell.elapsed_seconds:.1f}s over budget "
+                f"{cell.spec.budget_seconds:.1f}s"
+            )
+        lines.append("")
     skipped = [c for c in result.cells if c.status == SKIP]
     if skipped:
         lines.append("## Skipped cells")
@@ -159,6 +180,7 @@ def summary_dict(result: SweepResult) -> Dict[str, Any]:
             "pass": counts[PASS],
             "fail": counts[FAIL],
             "skip": counts[SKIP],
+            "timeout": counts[TIMEOUT],
         },
         "verified_combos": [
             {"family": f, "width": w, "strategy": s}
@@ -172,6 +194,8 @@ def summary_dict(result: SweepResult) -> Dict[str, Any]:
                 "skip_reason": cell.skip_reason,
                 "coverage": cell.coverage,
                 "resolved_seed": cell.resolved_seed,
+                "elapsed_seconds": cell.elapsed_seconds,
+                "budget_seconds": cell.spec.budget_seconds,
                 "checks": [
                     {
                         "check": f.check,

@@ -47,6 +47,8 @@ from repro.sweep.oracle import (
 from repro.sweep.spec import CellSpec, OracleSpec, SweepSpec
 
 __all__ = [
+    "DISTRIBUTIONAL_STRATEGIES",
+    "TIMEOUT",
     "StrategyOutcome",
     "CellResult",
     "SweepResult",
@@ -54,6 +56,16 @@ __all__ = [
     "run_cell",
     "run_sweep",
 ]
+
+#: Cell status for a run that finished but blew its wall-clock budget.
+TIMEOUT = "timeout"
+
+#: Strategies whose conformance contract is distributional rather than
+#: bitwise: ``clifford`` draws shots through a different stochastic
+#: mechanism, and ``tensornet`` additionally truncates amplitudes (SVD
+#: cutoff / bond cap), so both are excluded from the bitwise equivalence
+#: tier and each gets its own density-matrix distribution finding.
+DISTRIBUTIONAL_STRATEGIES = ("clifford", "tensornet")
 
 
 @dataclass(frozen=True)
@@ -83,12 +95,14 @@ class CellResult:
     """Everything one sweep cell produced: outcomes, findings, provenance."""
 
     spec: CellSpec
-    status: str  # "pass" | "fail" | "skip"
+    status: str  # "pass" | "fail" | "skip" | "timeout"
     skip_reason: str = ""
     outcomes: List[StrategyOutcome] = field(default_factory=list)
     findings: List[OracleFinding] = field(default_factory=list)
     coverage: float = 0.0
     resolved_seed: Optional[int] = None
+    #: Wall-clock seconds the whole cell took (all strategies + oracle).
+    elapsed_seconds: float = 0.0
 
     @property
     def cell_id(self) -> str:
@@ -167,7 +181,7 @@ class SweepResult:
     cells: List[CellResult] = field(default_factory=list)
 
     def counts(self) -> Dict[str, int]:
-        out = {PASS: 0, FAIL: 0, SKIP: 0}
+        out = {PASS: 0, FAIL: 0, SKIP: 0, TIMEOUT: 0}
         for cell in self.cells:
             out[cell.status] += 1
         return out
@@ -175,6 +189,10 @@ class SweepResult:
     @property
     def failed(self) -> bool:
         return any(cell.status == FAIL for cell in self.cells)
+
+    @property
+    def timed_out(self) -> bool:
+        return any(cell.status == TIMEOUT for cell in self.cells)
 
     def verified_combos(self) -> List[Tuple[str, int, str]]:
         """All verified (family, width, strategy) combos across cells."""
@@ -260,16 +278,22 @@ def run_cell(
 
     ``executor_kwargs`` optionally maps strategy name to extra executor
     constructor arguments (e.g. ``{"sharded": {"devices": 2}}``).  The
-    first listed *dense* strategy — ``serial`` is forced to the front
+    first listed *bitwise* strategy — ``serial`` is forced to the front
     when present — is the differential reference.
 
-    ``clifford`` is excluded from the bitwise equivalence tier: the frame
-    engine draws its per-shot randomness through a different stochastic
-    mechanism (generator coefficients, not state-conditional branch
-    draws), so its tables are seeded-reproducible but not bitwise equal
-    to the dense ones.  Its conformance contract is distributional — each
-    clifford table gets its own distribution finding against the exact
+    The :data:`DISTRIBUTIONAL_STRATEGIES` (``clifford``, ``tensornet``)
+    are excluded from the bitwise equivalence tier: the frame engine
+    draws its per-shot randomness through a different stochastic
+    mechanism, and the tensornet engine additionally truncates amplitudes
+    — so their tables are seeded-reproducible but not bitwise equal to
+    the dense ones.  Their conformance contract is distributional — each
+    such table gets its own distribution finding against the exact
     density-matrix reference (subject to the same width/mixture gates).
+
+    When the cell carries a ``budget_seconds`` and its total wall clock
+    exceeds it, a cell that would have passed is reported ``timeout``
+    instead (an oracle *failure* still wins — a budget overrun must not
+    mask a conformance bug).
     """
     family = get_workload(cell.family)
     if not family.supports(cell.width):
@@ -279,13 +303,14 @@ def run_cell(
             skip_reason=f"width {cell.width} outside {cell.family!r} range "
             f"[{family.min_width}, {family.max_width}]",
         )
+    cell_t0 = time.perf_counter()
     profile: DeviceNoiseProfile = device_profile(cell.profile)
     circuit = noisy(family.build(cell.width, seed=cell.seed), profile.noise_model())
     sampler = make_sampler(cell)
 
     ordered = sorted(strategies, key=lambda s: s != "serial")
-    dense = [s for s in ordered if s != "clifford"]
-    frame = [s for s in ordered if s == "clifford"]
+    dense = [s for s in ordered if s not in DISTRIBUTIONAL_STRATEGIES]
+    distributional = [s for s in ordered if s in DISTRIBUTIONAL_STRATEGIES]
     reference_strategy = (dense or ordered)[0]
     tables: Dict[str, ShotTable] = {}
     outcomes: List[StrategyOutcome] = []
@@ -355,10 +380,10 @@ def run_cell(
             proportional_shots=(cell.sampler == "exhaustive"),
         )
     )
-    # Each clifford table is verified distributionally on its own — it
-    # cannot ride on the reference's finding because it is not bitwise
-    # tied to the reference table.
-    for strategy in frame:
+    # Each distributional-contract table (clifford / tensornet) is
+    # verified on its own — it cannot ride on the reference's finding
+    # because it is not bitwise tied to the reference table.
+    for strategy in distributional:
         if strategy == reference_strategy:
             continue
         f = check_distribution(
@@ -378,7 +403,14 @@ def run_cell(
             )
         )
 
+    elapsed = time.perf_counter() - cell_t0
     status = FAIL if any(f.status == FAIL for f in findings) else PASS
+    if (
+        status == PASS
+        and cell.budget_seconds is not None
+        and elapsed > cell.budget_seconds
+    ):
+        status = TIMEOUT
     return CellResult(
         spec=cell,
         status=status,
@@ -386,6 +418,7 @@ def run_cell(
         findings=findings,
         coverage=coverage,
         resolved_seed=resolved_seed,
+        elapsed_seconds=elapsed,
     )
 
 

@@ -107,6 +107,9 @@ class FamilySweep:
     widths: Tuple[int, ...]
     profiles: Tuple[str, ...]
     strategies: Optional[Tuple[str, ...]] = None
+    #: Per-cell wall-clock budget override for this entry (seconds);
+    #: ``None`` inherits :attr:`SweepSpec.cell_budget_seconds`.
+    budget_seconds: Optional[float] = None
 
     def validate(self) -> "FamilySweep":
         from repro.execution.batched import STRATEGY_BUILDERS
@@ -147,6 +150,11 @@ class FamilySweep:
                     f"unknown noise profile {p!r}; "
                     f"registered: {', '.join(profile_names())}"
                 )
+        if self.budget_seconds is not None and self.budget_seconds <= 0:
+            raise SweepSpecError(
+                f"family {self.family!r}: budget_seconds must be positive, "
+                f"got {self.budget_seconds}"
+            )
         return self
 
 
@@ -164,6 +172,9 @@ class CellSpec:
     #: Strategies this cell runs (the family entry's override, else the
     #: sweep-level list — already resolved by :meth:`SweepSpec.expand`).
     strategies: Tuple[str, ...] = ("serial", "vectorized")
+    #: Wall-clock budget for the whole cell (seconds); exceeding it marks
+    #: the cell ``timeout`` in the matrix.  ``None`` = unbudgeted.
+    budget_seconds: Optional[float] = None
 
     @property
     def cell_id(self) -> str:
@@ -185,6 +196,10 @@ class SweepSpec:
     sampler_options: Tuple[Tuple[str, Any], ...] = ()
     seed: int = 7
     oracle: OracleSpec = field(default_factory=OracleSpec)
+    #: Default per-cell wall-clock budget (seconds); a cell exceeding it
+    #: is reported ``timeout`` (nonzero exit under ``--strict``).  Family
+    #: entries may override via :attr:`FamilySweep.budget_seconds`.
+    cell_budget_seconds: Optional[float] = None
 
     def validate(self) -> "SweepSpec":
         from repro.execution.batched import STRATEGY_BUILDERS
@@ -208,6 +223,11 @@ class SweepSpec:
         if self.sampler not in VALID_SAMPLERS:
             raise SweepSpecError(
                 f"unknown sampler {self.sampler!r}; valid: {', '.join(VALID_SAMPLERS)}"
+            )
+        if self.cell_budget_seconds is not None and self.cell_budget_seconds <= 0:
+            raise SweepSpecError(
+                f"cell_budget_seconds must be positive, got "
+                f"{self.cell_budget_seconds}"
             )
         self.oracle.validate()
         for sweep in self.sweeps:
@@ -246,6 +266,11 @@ class SweepSpec:
                                 if sweep.strategies is not None
                                 else self.strategies
                             ),
+                            budget_seconds=(
+                                sweep.budget_seconds
+                                if sweep.budget_seconds is not None
+                                else self.cell_budget_seconds
+                            ),
                         )
                     )
         return cells
@@ -259,6 +284,11 @@ class SweepSpec:
             "sampler": self.sampler,
             "sampler_options": dict(self.sampler_options),
             "strategies": list(self.strategies),
+            **(
+                {"cell_budget_seconds": self.cell_budget_seconds}
+                if self.cell_budget_seconds is not None
+                else {}
+            ),
             "oracle": {
                 "strategy_equivalence": self.oracle.strategy_equivalence,
                 "streaming": self.oracle.streaming,
@@ -274,6 +304,11 @@ class SweepSpec:
                     **(
                         {"strategies": list(s.strategies)}
                         if s.strategies is not None
+                        else {}
+                    ),
+                    **(
+                        {"budget_seconds": s.budget_seconds}
+                        if s.budget_seconds is not None
                         else {}
                     ),
                 }
@@ -302,7 +337,7 @@ def spec_from_dict(data: Mapping[str, Any]) -> SweepSpec:
     _reject_unknown_keys(
         data,
         ("name", "seed", "shots", "sampler", "sampler_options", "strategies",
-         "oracle", "sweeps"),
+         "oracle", "sweeps", "cell_budget_seconds"),
         "sweep spec",
     )
     oracle_data = _require_mapping(data.get("oracle", {}), "oracle")
@@ -333,7 +368,9 @@ def spec_from_dict(data: Mapping[str, Any]) -> SweepSpec:
     for i, entry in enumerate(entries):
         entry = _require_mapping(entry, f"sweeps[{i}]")
         _reject_unknown_keys(
-            entry, ("family", "widths", "profiles", "strategies"), f"sweeps[{i}]"
+            entry,
+            ("family", "widths", "profiles", "strategies", "budget_seconds"),
+            f"sweeps[{i}]",
         )
         try:
             widths = tuple(int(w) for w in entry["widths"])
@@ -346,17 +383,22 @@ def spec_from_dict(data: Mapping[str, Any]) -> SweepSpec:
             if "strategies" in entry
             else None
         )
+        entry_budget = (
+            float(entry["budget_seconds"]) if "budget_seconds" in entry else None
+        )
         sweeps.append(
             FamilySweep(
                 family=family,
                 widths=widths,
                 profiles=profiles,
                 strategies=entry_strategies,
+                budget_seconds=entry_budget,
             )
         )
     sampler_options = _require_mapping(
         data.get("sampler_options", {}), "sampler_options"
     )
+    budget = data.get("cell_budget_seconds")
     spec = SweepSpec(
         name=str(data.get("name", "sweep")),
         sweeps=tuple(sweeps),
@@ -366,6 +408,7 @@ def spec_from_dict(data: Mapping[str, Any]) -> SweepSpec:
         sampler_options=tuple(sorted(sampler_options.items())),
         seed=int(data.get("seed", 7)),
         oracle=oracle,
+        cell_budget_seconds=float(budget) if budget is not None else None,
     )
     return spec.validate()
 

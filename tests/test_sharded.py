@@ -395,6 +395,7 @@ class TestStrategyDispatch:
     def test_valid_strategies_constant(self):
         assert set(VALID_STRATEGIES) == {
             "auto", "serial", "parallel", "vectorized", "sharded", "clifford",
+            "tensornet",
         }
 
 

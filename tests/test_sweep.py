@@ -270,7 +270,9 @@ class TestReport:
     def test_summary_json_serializable(self, result):
         summary = summary_dict(result)
         blob = json.loads(json.dumps(summary))
-        assert blob["cells"] == {"total": 2, "pass": 1, "fail": 0, "skip": 1}
+        assert blob["cells"] == {
+            "total": 2, "pass": 1, "fail": 0, "skip": 1, "timeout": 0,
+        }
         assert len(blob["verified_combos"]) == 2
         assert blob["spec"]["name"] == "unit"
 
@@ -280,6 +282,113 @@ class TestReport:
         summary = write_report(result, str(md), str(js))
         assert md.read_text().startswith("# Sweep coverage matrix")
         assert json.loads(js.read_text()) == json.loads(json.dumps(summary))
+
+
+class TestBudgets:
+    def test_budget_parsing_and_override(self):
+        spec = _spec(
+            cell_budget_seconds=30.0,
+            sweeps=[
+                {"family": "ghz", "widths": [3],
+                 "profiles": ["uniform_depolarizing"]},
+                {"family": "ghz", "widths": [4],
+                 "profiles": ["uniform_depolarizing"], "budget_seconds": 5.0},
+            ],
+        )
+        cells = spec.expand()
+        assert cells[0].budget_seconds == 30.0  # spec-level default
+        assert cells[1].budget_seconds == 5.0  # family override wins
+        blob = spec.to_dict()
+        assert blob["cell_budget_seconds"] == 30.0
+        assert blob["sweeps"][1]["budget_seconds"] == 5.0
+        # Round trip preserves budgets.
+        again = spec_from_dict(blob)
+        assert [c.budget_seconds for c in again.expand()] == [30.0, 5.0]
+
+    def test_no_budget_means_none(self):
+        (cell,) = _spec().expand()
+        assert cell.budget_seconds is None
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(SweepSpecError, match="budget"):
+            _spec(cell_budget_seconds=0)
+        with pytest.raises(SweepSpecError, match="budget"):
+            _spec(sweeps=[{"family": "ghz", "widths": [3],
+                           "profiles": ["uniform_depolarizing"],
+                           "budget_seconds": -1}])
+
+    def test_blown_budget_marks_timeout(self):
+        from repro.sweep import OracleSpec, run_cell
+
+        cell = CellSpec(
+            family="ghz", width=3, profile="uniform_depolarizing",
+            shots=500, sampler="exhaustive", sampler_options=(), seed=2,
+            budget_seconds=1e-9,
+        )
+        result = run_cell(cell, ("serial",), OracleSpec())
+        assert result.status == "timeout"
+        assert result.elapsed_seconds > 1e-9
+        # The strategy passed its own checks, but an over-budget cell
+        # contributes no *verified* combos.
+        assert result.outcomes[0].verified
+        assert result.verified_strategies() == []
+
+    def test_timeout_in_report_and_counts(self):
+        spec = _spec(cell_budget_seconds=1e-9, shots=300)
+        result = run_sweep(spec)
+        assert result.counts()["timeout"] == 1
+        assert result.timed_out and not result.failed
+        md = render_markdown(result)
+        assert "Timeouts" in md and "⏱" in md
+        records = coverage_matrix(result)
+        assert all(r["status"] == "timeout" for r in records)
+        blob = summary_dict(result)
+        assert blob["cells"]["timeout"] == 1
+        finding = blob["findings"][0]
+        assert finding["status"] == "timeout"
+        assert finding["elapsed_seconds"] > 0
+        assert finding["budget_seconds"] == 1e-9
+
+    def test_oracle_failure_beats_timeout(self, monkeypatch):
+        """A cell that both fails its oracle and blows its budget reports
+        fail — an over-budget pass is a timeout, an over-budget fail is
+        still a fail."""
+        import repro.sweep.runner as runner_mod
+        from repro.sweep import OracleSpec, run_cell
+        from repro.sweep.oracle import FAIL, OracleFinding
+
+        monkeypatch.setattr(
+            runner_mod,
+            "check_strategy_equivalence",
+            lambda *a, **k: OracleFinding(
+                check="strategy_equivalence", status=FAIL, detail="forced"
+            ),
+        )
+        cell = CellSpec(
+            family="ghz", width=3, profile="uniform_depolarizing",
+            shots=200, sampler="exhaustive", sampler_options=(), seed=2,
+            budget_seconds=1e-9,
+        )
+        result = run_cell(cell, ("serial", "vectorized"), OracleSpec())
+        assert result.status == "fail"
+
+    def test_bench_sweep_strict_exit_code(self, tmp_path):
+        import os
+        import sys
+
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+        import bench_sweep
+
+        data = dict(
+            SMOKE_DICT, shots=300, cell_budget_seconds=1e-9,
+            strategies=["serial"],
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(data))
+        out = tmp_path / "out"
+        argv = ["--spec", str(spec_path), "--out-dir", str(out)]
+        assert bench_sweep.main(argv) == 0  # timeout alone is not a failure
+        assert bench_sweep.main(argv + ["--strict"]) == 1
 
 
 class TestFailurePath:

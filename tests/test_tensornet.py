@@ -1,0 +1,553 @@
+"""Tensornet strategy: schedule compile, batched stack, routing, conformance.
+
+Contracts under test:
+
+1. **Exact replay** — the compiled swap-routed schedule replayed over a
+   :class:`BatchedMPSStack` at exact bond reproduces the dense
+   ``run_fixed`` statevector for non-adjacent 2q gates, 3q windows, and
+   both fusion modes.
+2. **Batched kernels** — ``truncated_svd_batched`` and
+   ``compute_right_environments_batched`` match their serial
+   counterparts row by row.
+3. **Truncation accounting** — per-row cumulative ``truncation_error``,
+   equal to the serial MPS backend's scalar at ``B=1``.
+4. **Routing and capacity** — ``strategy="auto"`` routes past the dense
+   width cap to tensornet (recorded on the result); explicit dense
+   strategies above the cap raise :class:`CapacityError` at dispatch.
+5. **Executor contracts** — seeded bitwise replay, ordered streaming,
+   ``retain=False`` / mid-stream ``close()``, dedup counting, and
+   per-trajectory weights matching the dense serial engine.
+6. **Distributional conformance** — at small width and exact bond the
+   tensornet table passes the density-matrix oracle across multiple
+   unitary-mixture noise profiles, like the clifford engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.mps import BatchedMPSStack, MPSBackend
+from repro.backends.mps_sampler import (
+    compute_right_environments,
+    compute_right_environments_batched,
+)
+from repro.backends.statevector import StatevectorBackend
+from repro.channels import NoiseModel, depolarizing, two_qubit_depolarizing
+from repro.channels.standard import device_profile
+from repro.circuits import Circuit
+from repro.circuits.gates import CCX
+from repro.circuits.library import build_workload, noisy, random_brickwork
+from repro.config import Config
+from repro.errors import CapacityError, ExecutionError
+from repro.execution import (
+    BackendSpec,
+    TensorNetExecutor,
+    compile_schedule,
+    resolve_strategy,
+    run_ptsbe,
+    run_ptsbe_stream,
+)
+from repro.execution.batched import DENSE_STRATEGIES
+from repro.execution.tensornet import (
+    NoiseStep,
+    UnitaryStep,
+    clear_schedule_cache,
+    replay_schedule,
+)
+from repro.linalg.decompositions import truncated_svd, truncated_svd_batched
+from repro.pts import ExhaustivePTS, ProportionalPTS
+from repro.sweep.oracle import PASS, check_distribution
+from repro.sweep.spec import OracleSpec
+
+FUSED = Config(fusion="auto")
+UNFUSED = Config(fusion="off")
+
+
+def _dense_state(circuit):
+    backend = StatevectorBackend(circuit.num_qubits)
+    backend.run_fixed(circuit)
+    return np.asarray(backend.statevector).copy()
+
+
+def _replayed_state(circuit, config, batch=1, max_bond=4096, cutoff=0.0):
+    schedule = compile_schedule(circuit, config)
+    stack = BatchedMPSStack(
+        circuit.num_qubits, batch, max_bond=max_bond, cutoff=cutoff
+    )
+    replay_schedule(stack, schedule, [{} for _ in range(batch)])
+    return stack.row_statevector(0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_schedule_cache():
+    clear_schedule_cache()
+    yield
+    clear_schedule_cache()
+
+
+def _wide_nonclifford(num_qubits=30):
+    """Past the dense cap, not frame-eligible (rx), cheap to simulate."""
+    circ = Circuit(num_qubits)
+    circ.h(0)
+    for q in range(num_qubits - 1):
+        circ.cx(q, q + 1)
+    circ.rx(0.3, 0)
+    circ.measure_all()
+    model = NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(0.01))
+    return model.apply(circ).freeze()
+
+
+class TestExactReplay:
+    def test_nonadjacent_2q_swap_routing(self):
+        circ = Circuit(6)
+        circ.h(0).t(1).rx(0.4, 2)
+        circ.cx(0, 3)  # routed down over sites 1, 2
+        circ.cz(2, 5)
+        circ.rz(0.7, 4)
+        circ.measure_all()
+        circ.freeze()
+        dense = _dense_state(circ)
+        for config in (FUSED, UNFUSED):
+            np.testing.assert_allclose(
+                _replayed_state(circ, config), dense, atol=1e-12
+            )
+
+    def test_descending_targets_wire_permuted(self):
+        circ = Circuit(5)
+        circ.h(4).t(2)
+        circ.cx(4, 1)  # control above target: operator must be permuted
+        circ.cx(3, 0)
+        circ.measure_all()
+        circ.freeze()
+        dense = _dense_state(circ)
+        for config in (FUSED, UNFUSED):
+            np.testing.assert_allclose(
+                _replayed_state(circ, config), dense, atol=1e-12
+            )
+
+    def test_3q_gate_fused_window(self):
+        circ = Circuit(6)
+        circ.h(0).h(2).h(4).t(1)
+        circ.gate(CCX, 0, 2, 4)  # non-contiguous 3q: routed + one 8x8 window
+        circ.gate(CCX, 3, 1, 5)  # unsorted targets
+        circ.measure_all()
+        circ.freeze()
+        dense = _dense_state(circ)
+        for config in (FUSED, UNFUSED):
+            np.testing.assert_allclose(
+                _replayed_state(circ, config), dense, atol=1e-12
+            )
+
+    def test_brickwork_fused_matches_unfused(self):
+        circ = random_brickwork(
+            7, depth=3, rng=np.random.default_rng(5), measure=True
+        ).freeze()
+        dense = _dense_state(circ)
+        np.testing.assert_allclose(_replayed_state(circ, FUSED), dense, atol=1e-10)
+        np.testing.assert_allclose(_replayed_state(circ, UNFUSED), dense, atol=1e-10)
+
+    def test_fused_schedule_is_shorter(self):
+        circ = random_brickwork(
+            6, depth=3, rng=np.random.default_rng(3), measure=True
+        ).freeze()
+        fused = compile_schedule(circ, FUSED)
+        unfused = compile_schedule(circ, UNFUSED)
+        assert len(fused.steps) < len(unfused.steps)
+        # Fusion absorbs every 1q rotation into a neighboring window.
+        assert fused.fused and not unfused.fused
+
+
+class TestScheduleCompile:
+    def test_cache_returns_same_object(self):
+        circ = _wide_nonclifford(8)
+        assert compile_schedule(circ, FUSED) is compile_schedule(circ, FUSED)
+        assert compile_schedule(circ, FUSED) is not compile_schedule(circ, UNFUSED)
+
+    def test_num_noise_sites_matches_circuit(self):
+        circ = _wide_nonclifford(8)
+        schedule = compile_schedule(circ, UNFUSED)
+        noise_ops = [op for op in circ.operations if hasattr(op, "channel")]
+        assert schedule.num_noise_sites == len(noise_ops)
+        site_ids = {s.site_id for s in schedule.steps if isinstance(s, NoiseStep)}
+        assert site_ids == {op.site_id for op in noise_ops}
+
+    def test_requires_frozen(self):
+        with pytest.raises(ExecutionError, match="frozen"):
+            compile_schedule(Circuit(2).h(0).measure_all())
+
+    def test_four_qubit_gate_rejected(self):
+        from repro.circuits.gates import Gate
+
+        g4 = Gate("g4", np.eye(16).astype(complex), check=False)
+        circ = Circuit(4).gate(g4, 0, 1, 2, 3).measure_all().freeze()
+        with pytest.raises(ExecutionError, match="decompose_to_2q"):
+            compile_schedule(circ, UNFUSED)
+
+    def test_noise_branch_count_preserved(self):
+        circ = Circuit(2).h(0).cx(0, 1)
+        circ.attach(depolarizing(0.1), 0)
+        circ.measure_all().freeze()
+        schedule = compile_schedule(circ, UNFUSED)
+        (noise,) = [s for s in schedule.steps if isinstance(s, NoiseStep)]
+        assert noise.ops.shape == (4, 2, 2)  # I, X, Y, Z branches
+
+    def test_swap_steps_emitted_for_nonadjacent(self):
+        circ = Circuit(4).cx(0, 3).measure_all().freeze()
+        schedule = compile_schedule(circ, UNFUSED)
+        spans = [s.span for s in schedule.steps if isinstance(s, UnitaryStep)]
+        # Two SWAPs down, the gate, two SWAPs back.
+        assert spans == [2, 2, 2, 2, 2]
+
+
+class TestBatchedKernels:
+    def test_batched_svd_matches_serial_rows(self):
+        rng = np.random.default_rng(11)
+        mats = rng.normal(size=(5, 8, 6)) + 1j * rng.normal(size=(5, 8, 6))
+        u, s, vh, kept, disc = truncated_svd_batched(mats, max_rank=4, cutoff=1e-3)
+        assert u.shape == (5, 8, kept) and s.shape == (5, kept)
+        for m in range(5):
+            _, s_ref, _, info = truncated_svd(mats[m], max_rank=4, cutoff=1e-3)
+            # The batch keeps the widest row's rank; the leading singular
+            # values and the discarded weight still match serial whenever
+            # serial kept the same count.
+            np.testing.assert_allclose(s[m, : info.kept], s_ref, atol=1e-12)
+            if info.kept == kept:
+                assert disc[m] == pytest.approx(info.discarded_weight, abs=1e-12)
+            else:
+                assert disc[m] <= info.discarded_weight + 1e-12
+            # Row reconstruction equals the serial rank-`kept` reconstruction.
+            u_ref, s_full, vh_ref = np.linalg.svd(mats[m], full_matrices=False)
+            recon_ref = (u_ref[:, :kept] * s_full[:kept]) @ vh_ref[:kept]
+            np.testing.assert_allclose((u[m] * s[m]) @ vh[m], recon_ref, atol=1e-10)
+
+    def test_batched_svd_reconstructs_exactly_without_truncation(self):
+        rng = np.random.default_rng(3)
+        mats = rng.normal(size=(3, 6, 6)) + 1j * rng.normal(size=(3, 6, 6))
+        u, s, vh, kept, disc = truncated_svd_batched(mats)
+        assert kept == 6
+        np.testing.assert_allclose(disc, 0.0, atol=1e-12)
+        np.testing.assert_allclose(
+            np.einsum("mik,mk,mkj->mij", u, s, vh), mats, atol=1e-12
+        )
+
+    def test_batched_environments_match_serial(self):
+        stack = BatchedMPSStack(5, 3, max_bond=8)
+        rng = np.random.default_rng(7)
+        # Three distinct random product-of-gates rows via per-row 1q ops.
+        for q in range(5):
+            mats = rng.normal(size=(3, 2, 2)) + 1j * rng.normal(size=(3, 2, 2))
+            stack.apply_1q_rows(mats, q)
+        stack.apply_adjacent(np.kron(np.eye(2), np.eye(2)), 1)
+        envs = compute_right_environments_batched(stack.tensors)
+        for m in range(3):
+            serial = compute_right_environments(stack.row_tensors(m))
+            for e_b, e_s in zip(envs, serial):
+                np.testing.assert_allclose(e_b[m], e_s, atol=1e-12)
+
+    def test_env_head_equals_norms_squared(self):
+        stack = BatchedMPSStack(4, 2, max_bond=8)
+        stack.apply_1q(np.array([[0.8, 0], [0, 0.8]]), 1)  # non-unitary scale
+        envs = compute_right_environments_batched(stack.tensors)
+        np.testing.assert_allclose(
+            envs[0][:, 0, 0].real, stack.norms_squared(), atol=1e-12
+        )
+
+
+class TestTruncationAccounting:
+    def _adjacent_circuit(self, n=6, depth=4):
+        rng = np.random.default_rng(19)
+        circ = Circuit(n)
+        for layer in range(depth):
+            for q in range(n):
+                circ.rx(float(rng.uniform(0, 2 * np.pi)), q)
+            for q in range(layer % 2, n - 1, 2):
+                circ.cz(q, q + 1)
+        circ.measure_all()
+        return circ.freeze()
+
+    def test_b1_matches_serial_mps(self):
+        circ = self._adjacent_circuit()
+        schedule = compile_schedule(circ, UNFUSED)
+        stack = BatchedMPSStack(6, 1, max_bond=2, cutoff=1e-12)
+        replay_schedule(stack, schedule, [{}])
+        serial = MPSBackend(6, max_bond=2, cutoff=1e-12, config=UNFUSED)
+        serial.run_fixed(circ)
+        assert stack.truncation_error.shape == (1,)
+        assert stack.truncation_error[0] > 0  # bond 2 genuinely truncates
+        assert stack.truncation_error[0] == pytest.approx(
+            serial.truncation_error, rel=1e-9
+        )
+
+    def test_per_row_accumulation(self):
+        # Amplitude damping (non-unitary Kraus) genuinely changes bond
+        # spectra per realization; Pauli errors would not — they ride
+        # through rx/rz/CZ as local frames with identical spectra.
+        circ = noisy(
+            build_workload("brickwork", 8, seed=2),
+            device_profile("relaxation_dominated").noise_model(),
+        )
+        sampler = ExhaustivePTS(cutoff=1e-3, nshots=None, total_shots=200)
+        from repro.rng import StreamFactory
+
+        specs = sampler.sample(circ, StreamFactory(4).rng_for(0)).specs
+        schedule = compile_schedule(circ, UNFUSED)
+        stack = BatchedMPSStack(8, len(specs), max_bond=2, cutoff=1e-12)
+        replay_schedule(stack, schedule, [s.choices for s in specs])
+        assert stack.truncation_error.shape == (len(specs),)
+        assert np.all(stack.truncation_error >= 0)
+        assert np.any(stack.truncation_error > 0)
+        # Different Kraus realizations truncate differently.
+        assert len(np.unique(np.round(stack.truncation_error, 12))) > 1
+
+
+class TestRoutingDecisions:
+    def test_wide_nonclifford_routes_to_tensornet(self):
+        circ = _wide_nonclifford(30)
+        resolved, reason = resolve_strategy(circ, BackendSpec.statevector(), "auto")
+        assert resolved == "tensornet"
+        assert "auto->tensornet" in reason
+        assert "max_dense_qubits" in reason
+
+    def test_narrow_circuit_stays_dense(self):
+        circ = _wide_nonclifford(8)
+        resolved, _ = resolve_strategy(circ, BackendSpec.statevector(), "auto")
+        assert resolved == "serial"
+
+    def test_clifford_wins_over_tensornet(self):
+        ideal = Circuit(30).h(0)
+        for q in range(29):
+            ideal.cx(q, q + 1)
+        ideal.measure_all()
+        circ = (
+            NoiseModel()
+            .add_all_qubit_gate_noise("cx", depolarizing(0.01))
+            .apply(ideal)
+            .freeze()
+        )
+        resolved, _ = resolve_strategy(circ, BackendSpec.statevector(), "auto")
+        assert resolved == "clifford"
+
+    def test_beyond_tensornet_cap_falls_back_dense(self):
+        circ = _wide_nonclifford(8)
+        cfg = Config(max_dense_qubits=4, max_tensornet_qubits=6)
+        resolved, _ = resolve_strategy(circ, BackendSpec.statevector(), "auto", cfg)
+        assert resolved == "serial"
+
+    def test_routing_dense_pin_skips_tensornet(self):
+        circ = _wide_nonclifford(30)
+        resolved, reason = resolve_strategy(
+            circ, BackendSpec.statevector(), "auto", Config(routing="dense")
+        )
+        assert resolved == "serial"
+        assert "routing disabled" in reason
+
+    def test_auto_records_engine_and_routing(self):
+        circ = _wide_nonclifford(28)
+        result = run_ptsbe(circ, ProportionalPTS(total_shots=200), seed=3)
+        assert result.engine == "tensornet"
+        assert result.routing.startswith("auto->tensornet")
+        assert result.shot_table().bits.shape == (200, 28)
+
+
+class TestCapacityErrors:
+    @pytest.mark.parametrize("strategy", ["serial", "vectorized"])
+    def test_explicit_dense_above_cap_raises(self, strategy):
+        circ = _wide_nonclifford(28)
+        backend = (
+            BackendSpec.batched_statevector()
+            if strategy == "vectorized"
+            else BackendSpec.statevector()
+        )
+        with pytest.raises(CapacityError) as err:
+            run_ptsbe(
+                circ, ProportionalPTS(total_shots=100), backend, seed=1,
+                strategy=strategy,
+            )
+        msg = str(err.value)
+        assert "max_dense_qubits=26" in msg
+        assert "28" in msg
+        assert "'tensornet'" in msg and "'clifford'" in msg
+
+    def test_routing_dense_pin_above_cap_raises(self):
+        circ = _wide_nonclifford(28)
+        dense_pin = BackendSpec("statevector", (("config", Config(routing="dense")),))
+        with pytest.raises(CapacityError):
+            run_ptsbe(circ, ProportionalPTS(total_shots=100), dense_pin, seed=1)
+
+    def test_mps_spec_not_capacity_checked(self):
+        # The serial MPS path has no dense width cap; 28q runs fine.
+        circ = _wide_nonclifford(28)
+        result = run_ptsbe(
+            circ, ProportionalPTS(total_shots=50), BackendSpec.mps(max_bond=8),
+            seed=1, strategy="serial",
+        )
+        assert result.total_shots == 50
+
+    def test_dense_strategies_constant(self):
+        assert DENSE_STRATEGIES == ("serial", "parallel", "vectorized", "sharded")
+        assert "tensornet" not in DENSE_STRATEGIES
+        assert "clifford" not in DENSE_STRATEGIES
+
+
+@pytest.fixture
+def small_noisy_circuit():
+    return noisy(
+        build_workload("ghz", 6, seed=0),
+        device_profile("uniform_depolarizing").noise_model(),
+    )
+
+
+class TestExecutorContracts:
+    def test_seeded_replay_bitwise(self, small_noisy_circuit):
+        sampler = ExhaustivePTS(cutoff=1e-4, nshots=None, total_shots=2000)
+        a = run_ptsbe(small_noisy_circuit, sampler, seed=17, strategy="tensornet")
+        b = run_ptsbe(small_noisy_circuit, sampler, seed=17, strategy="tensornet")
+        assert a.engine == b.engine == "tensornet"
+        np.testing.assert_array_equal(a.shot_table().bits, b.shot_table().bits)
+        np.testing.assert_array_equal(
+            a.shot_table().trajectory_ids, b.shot_table().trajectory_ids
+        )
+
+    def test_streaming_chunks_concatenate_ordered(self, small_noisy_circuit):
+        sampler = ExhaustivePTS(cutoff=1e-4, nshots=None, total_shots=3000)
+        stream = run_ptsbe_stream(
+            small_noisy_circuit, sampler, seed=17, strategy="tensornet",
+            executor_kwargs={"max_batch": 8},
+        )
+        chunks = [c.shot_table() for c in stream if c.num_shots]
+        result = stream.finalize()
+        ids = [t.trajectory_ids[0] for t in chunks]
+        assert ids == sorted(ids)  # ordered delivery across stacked chunks
+        from repro.execution.results import ShotTable
+
+        concat = ShotTable.concatenate(chunks)
+        np.testing.assert_array_equal(concat.bits, result.shot_table().bits)
+
+    def test_retain_false_streams_without_finalize(self, small_noisy_circuit):
+        stream = run_ptsbe_stream(
+            small_noisy_circuit, ProportionalPTS(total_shots=1000), seed=3,
+            strategy="tensornet", retain=False,
+        )
+        total = sum(chunk.num_shots for chunk in stream)
+        assert total == 1000
+        with pytest.raises(ExecutionError):
+            stream.finalize()
+
+    def test_midstream_close(self, small_noisy_circuit):
+        stream = run_ptsbe_stream(
+            small_noisy_circuit,
+            ExhaustivePTS(cutoff=1e-4, nshots=None, total_shots=3000),
+            seed=3, strategy="tensornet", executor_kwargs={"max_batch": 4},
+        )
+        next(iter(stream))
+        stream.close()  # must not raise
+
+    def test_dedup_counts_unique_preparations(self, small_noisy_circuit):
+        sampler = ExhaustivePTS(cutoff=1e-4, nshots=None, total_shots=2000)
+        result = run_ptsbe(
+            small_noisy_circuit, sampler, seed=13, strategy="tensornet"
+        )
+        assert result.unique_preparations is not None
+        assert result.unique_preparations <= result.num_trajectories
+
+    def test_weights_match_dense_serial(self, small_noisy_circuit):
+        sampler = ExhaustivePTS(cutoff=1e-4, nshots=None, total_shots=2000)
+        tn = run_ptsbe(small_noisy_circuit, sampler, seed=13, strategy="tensornet")
+        serial = run_ptsbe(small_noisy_circuit, sampler, seed=13, strategy="serial")
+        tw = {r.trajectory_id: r.weight for r in tn.records}
+        sw = {r.trajectory_id: r.weight for r in serial.records}
+        assert tw.keys() == sw.keys()
+        for tid, weight in tw.items():
+            assert weight == pytest.approx(sw[tid], rel=1e-9, abs=1e-12)
+
+    def test_backend_factory_rejected(self):
+        with pytest.raises(ExecutionError, match="factory"):
+            TensorNetExecutor(backend=lambda n: StatevectorBackend(n))
+
+    def test_sample_kwargs_rejected(self):
+        with pytest.raises(ExecutionError, match="sample_kwargs"):
+            TensorNetExecutor(sample_kwargs={"mode": "naive"})
+
+    def test_bad_max_batch_rejected(self):
+        with pytest.raises(ExecutionError, match="max_batch"):
+            TensorNetExecutor(max_batch=0)
+
+    def test_bond_resolution_order(self):
+        # Explicit arg > spec options > config default.
+        assert TensorNetExecutor(BackendSpec.mps(max_bond=8), max_bond=5).max_bond == 5
+        assert TensorNetExecutor(BackendSpec.mps(max_bond=8)).max_bond == 8
+        cfg = Config(tensornet_max_bond=12)
+        assert TensorNetExecutor(config=cfg).max_bond == 12
+        assert TensorNetExecutor().max_bond == Config().default_bond_dim
+
+    def test_width_above_tensornet_cap_raises(self):
+        circ = _wide_nonclifford(8)
+        exe = TensorNetExecutor(config=Config(max_tensornet_qubits=6))
+        from repro.pts.base import NoiseSiteView, PTSAlgorithm
+
+        spec = PTSAlgorithm.make_spec(NoiseSiteView(circ), [], 10, trajectory_id=0)
+        with pytest.raises(ExecutionError, match="max_tensornet_qubits"):
+            exe.execute_stream(circ, [spec], seed=0)
+
+    def test_no_measurements_rejected(self):
+        circ = Circuit(2).h(0)
+        circ.attach(depolarizing(0.1), 0)
+        circ.freeze()
+        with pytest.raises(ExecutionError, match="measure"):
+            TensorNetExecutor().execute_stream(circ, [object()], seed=0)
+
+    def test_no_specs_rejected(self):
+        circ = Circuit(2).h(0).measure_all().freeze()
+        with pytest.raises(ExecutionError, match="specs"):
+            TensorNetExecutor().execute_stream(circ, [], seed=0)
+
+
+class TestDistributionalConformance:
+    @pytest.mark.parametrize(
+        "profile", ["uniform_depolarizing", "superconducting_median"]
+    )
+    def test_exact_bond_matches_density_matrix(self, profile):
+        """n<=10 at exact bond: the tensornet table passes the same
+        density-matrix distribution tier the dense reference passes."""
+        circuit = noisy(
+            build_workload("ghz", 6, seed=0),
+            device_profile(profile).noise_model(),
+        )
+        sampler = ExhaustivePTS(cutoff=1e-4, nshots=None, total_shots=20_000)
+        tn = run_ptsbe(circuit, sampler, seed=13, strategy="tensornet")
+        serial = run_ptsbe(circuit, sampler, seed=13, strategy="serial")
+        coverage = sum(r.nominal_probability for r in tn.records)
+        oracle = OracleSpec(tvd_tolerance=0.05)
+        for result in (tn, serial):
+            finding = check_distribution(
+                circuit,
+                result.shot_table(),
+                coverage,
+                oracle,
+                unitary_mixture=True,
+                proportional_shots=True,
+            )
+            assert finding.status == PASS, f"{result.engine}: {finding.detail}"
+
+
+class TestWideExecution:
+    def test_40q_brickwork_tensornet_and_auto(self):
+        circ = noisy(
+            build_workload("brickwork", 40, seed=1),
+            NoiseModel().add_all_qubit_gate_noise(
+                "cz", two_qubit_depolarizing(0.005)
+            ),
+        )
+        sampler = ProportionalPTS(total_shots=200)
+        explicit = run_ptsbe(circ, sampler, seed=7, strategy="tensornet")
+        assert explicit.engine == "tensornet"
+        assert explicit.shot_table().bits.shape == (200, 40)
+        stream = run_ptsbe_stream(circ, sampler, seed=7)
+        assert stream.engine == "tensornet"
+        assert stream.routing.startswith("auto->tensornet")
+        chunks = [c.shot_table() for c in stream if c.num_shots]
+        auto = stream.finalize()
+        ids = [t.trajectory_ids[0] for t in chunks]
+        assert ids == sorted(ids)
+        np.testing.assert_array_equal(
+            auto.shot_table().bits, explicit.shot_table().bits
+        )
