@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.circuits.circuit import Circuit
+from repro.rng import library_rng
 from repro.circuits.gates import CX, CZ, H, RX, RY, RZ, Gate, T, X
 from repro.errors import CircuitError
 
@@ -91,7 +92,7 @@ def random_brickwork(
     """
     if depth < 0:
         raise CircuitError("depth must be >= 0")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else library_rng()
     circ = Circuit(num_qubits, name=f"brickwork_{num_qubits}x{depth}")
     for layer in range(depth):
         for q in range(num_qubits):
@@ -113,7 +114,7 @@ def mirror_benchmark(
     Useful for validating noisy backends — any deviation from the all-zeros
     shot is attributable to injected noise.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else library_rng()
     half = random_brickwork(num_qubits, depth, rng=rng)
     circ = Circuit(num_qubits, name=f"mirror_{num_qubits}x{depth}")
     ops = list(half.coherent_ops)
@@ -280,7 +281,7 @@ class WorkloadFamily:
                 f"workload {self.name!r} supports widths "
                 f"[{self.min_width}, {self.max_width}], got {num_qubits}"
             )
-        return self.builder(num_qubits, np.random.default_rng(seed))
+        return self.builder(num_qubits, library_rng(seed))
 
 
 _WORKLOADS: Dict[str, WorkloadFamily] = {}

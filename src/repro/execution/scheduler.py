@@ -90,7 +90,7 @@ def greedy_by_cost(specs: Sequence[Any], num_devices: int,
     per_device: List[List[Any]] = [[] for _ in range(num_devices)]
     loads = [0.0] * num_devices
     for spec in sorted(specs, key=cost_fn, reverse=True):
-        d = int(np.argmin(loads))
+        d = int(np.argmin(loads))  # replint: disable=XP001 -- host cost model, (devices,) floats
         per_device[d].append(spec)
         loads[d] += cost_fn(spec)
     return Assignment(per_device, loads)

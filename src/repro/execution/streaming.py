@@ -80,8 +80,8 @@ class ShotChunk:
         """This chunk's shots, provenance-aligned by trajectory index."""
         if not self.trajectories:
             raise ExecutionError("empty shot chunk has no table")
-        bits = np.concatenate([t.bits for t in self.trajectories], axis=0)
-        ids = np.concatenate(
+        bits = np.concatenate([t.bits for t in self.trajectories], axis=0)  # replint: disable=XP001 -- host bit tables
+        ids = np.concatenate(  # replint: disable=XP001 -- host provenance ids
             [
                 np.full(t.num_shots, t.record.trajectory_id, dtype=np.int64)
                 for t in self.trajectories

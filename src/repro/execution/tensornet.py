@@ -216,7 +216,7 @@ class _Compiler:
         if self.fused:
             pre = self._take(sites[0])
             for q in sites[1:]:
-                pre = np.kron(pre, self._take(q))
+                pre = np.kron(pre, self._take(q))  # replint: disable=XP001 -- compile-time host gate matrices
             matrix = matrix @ pre
         if k == 2:
             qa, qb = sites
@@ -246,11 +246,11 @@ class _Compiler:
         if self.fused:
             pre = self._take(sites[0])
             for q in sites[1:]:
-                pre = np.kron(pre, self._take(q))
+                pre = np.kron(pre, self._take(q))  # replint: disable=XP001 -- compile-time host gate matrices
             # |K U psi|^2 == |(K U) psi|^2: folding the pending unitary
             # into every branch preserves weights and post-states.
             kraus = [m @ pre for m in kraus]
-        ops = np.stack(kraus)
+        ops = np.stack(kraus)  # replint: disable=XP001 -- compile-time host Kraus stack
         dominant = op.channel.dominant_index()
         if k == 1:
             self.steps.append(

@@ -194,7 +194,7 @@ def compile_operator(
         # bit order so the reshape-view kernels always see ascending
         # targets.  New operator bit j takes old bit order[j], applied to
         # row and column axes alike.
-        order = tuple(int(i) for i in np.argsort(targets, kind="stable"))
+        order = tuple(int(i) for i in np.argsort(targets, kind="stable"))  # replint: disable=XP001 -- compile-time host analysis
         axes = order + tuple(k + i for i in order)
         m = np.ascontiguousarray(
             m.reshape((2,) * (2 * k)).transpose(axes).reshape(2**k, 2**k)

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.config import ATOL
+from repro.rng import library_rng
 
 __all__ = [
     "is_unitary",
@@ -45,7 +46,7 @@ def closest_unitary(matrix: np.ndarray) -> np.ndarray:
 
 def random_unitary(dim: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Haar-random unitary via QR of a complex Ginibre matrix."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else library_rng()
     z = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
     q, r = np.linalg.qr(z)
     # Fix the phase ambiguity so the distribution is exactly Haar.
@@ -55,7 +56,7 @@ def random_unitary(dim: int, rng: Optional[np.random.Generator] = None) -> np.nd
 
 def random_statevector(num_qubits: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Haar-random pure state on ``num_qubits`` qubits."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else library_rng()
     dim = 2**num_qubits
     z = rng.normal(size=dim) + 1j * rng.normal(size=dim)
     return z / np.linalg.norm(z)

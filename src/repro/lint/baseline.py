@@ -1,0 +1,149 @@
+"""Committed-baseline handling: grandfathered findings, tracked not hidden.
+
+A baseline entry records one accepted finding by its stable key —
+``(rule, path, scope, text)``, never a line number — plus the
+*justification* for accepting it.  The linter then partitions live
+findings into **new** (fail the build) and **baselined** (reported in
+summaries, tolerated), and reports **stale** entries whose finding no
+longer exists so the baseline shrinks monotonically as debt is paid.
+
+Matching is count-aware: a baseline entry absorbs exactly one finding
+with its key, so duplicating an offending line immediately produces a
+new finding instead of hiding behind its grandfathered twin.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.lint.findings import Finding, FindingKey
+from repro.lint.framework import LintError
+
+__all__ = ["BaselineEntry", "load_baseline", "write_baseline", "partition"]
+
+#: Schema version of the baseline document.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding plus why it is accepted."""
+
+    rule: str
+    path: str
+    scope: str
+    text: str
+    justification: str = ""
+
+    def key(self) -> FindingKey:
+        return (self.rule, self.path, self.scope, self.text)
+
+    def to_json(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "scope": self.scope,
+            "text": self.text,
+            "justification": self.justification,
+        }
+
+
+def load_baseline(path: Union[str, Path]) -> List[BaselineEntry]:
+    """Parse a baseline document; a missing file is an empty baseline."""
+    file = Path(path)
+    if not file.is_file():
+        return []
+    try:
+        doc = json.loads(file.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {file} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "entries" not in doc:
+        raise LintError(f"baseline {file} lacks an 'entries' list")
+    entries: List[BaselineEntry] = []
+    for raw in doc["entries"]:
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    scope=raw.get("scope", "<module>"),
+                    text=raw.get("text", ""),
+                    justification=raw.get("justification", ""),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise LintError(f"malformed baseline entry in {file}: {raw!r}") from exc
+    return entries
+
+
+def write_baseline(
+    findings: Sequence[Finding],
+    path: Union[str, Path],
+    notes: str = "",
+    justifications: Union[Dict[str, str], None] = None,
+) -> None:
+    """Serialize ``findings`` as a fresh baseline document.
+
+    ``justifications`` maps path prefixes to justification strings so a
+    regenerated baseline keeps its documentation (entries under an
+    unmapped path get an empty justification to be filled in by hand).
+    """
+    justifications = justifications or {}
+    entries: List[Dict[str, str]] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        reason = ""
+        for prefix, text in justifications.items():
+            if finding.path == prefix or finding.path.startswith(prefix):
+                reason = text
+                break
+        entries.append(
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                scope=finding.scope,
+                text=finding.text,
+                justification=reason,
+            ).to_json()
+        )
+    doc: Dict[str, object] = {
+        "version": BASELINE_VERSION,
+        "notes": notes,
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings against the baseline.
+
+    Returns ``(new, baselined, stale)``: findings with no matching entry,
+    findings absorbed by an entry, and entries that matched nothing (the
+    debt was paid — remove them).  Matching is by multiset on the stable
+    key, so N entries with one key absorb at most N findings.
+    """
+    budget: Counter[FindingKey] = Counter(entry.key() for entry in entries)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale: List[BaselineEntry] = []
+    consumed: Counter[FindingKey] = Counter(f.key() for f in baselined)
+    for entry in entries:
+        key = entry.key()
+        if consumed.get(key, 0) > 0:
+            consumed[key] -= 1
+        else:
+            stale.append(entry)
+    return new, baselined, stale

@@ -1,0 +1,119 @@
+"""Replay-path determinism: no wall clocks, OS entropy, or set ordering.
+
+Seeded replay paths (the execution engines, the backends they drive, the
+PTS samplers, trajectory bookkeeping, and the channel layer) must be
+pure functions of ``(circuit, specs, seed)``.  **DET001** flags the
+nondeterminism sources that sneak into such code:
+
+* wall-clock reads (``time.time``, ``datetime.now``, ``date.today``) —
+  ``time.perf_counter`` / ``process_time`` are *allowed*; they feed
+  timing metrics, never shot output;
+* OS entropy (``os.urandom``, ``uuid.uuid1/4``, ``secrets.*``);
+* direct iteration over a ``set`` literal / ``set()`` call — iteration
+  order depends on ``PYTHONHASHSEED`` for str keys, so anything it feeds
+  (shot ordering, group scheduling) varies across processes.  Sort
+  first: ``for x in sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.framework import FileRule, register
+
+__all__ = ["DET001NondeterminismSource"]
+
+#: Module prefixes that form the seeded replay surface.
+REPLAY_PATH_MODULES = (
+    "execution/",
+    "backends/",
+    "pts/",
+    "trajectory/",
+    "channels/",
+    "rng.py",
+)
+
+#: Canonical dotted names whose call results differ run to run.
+FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic_ns",  # acceptable for durations, but never raw
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+def _iter_is_raw_set(node: ast.expr, ctx: FileContext) -> bool:
+    """True when a for-loop iterates a set literal / ``set(...)`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        # Only the builtin: an imported/shadowed `set` resolves elsewhere.
+        return node.func.id == "set" and ctx.resolve(node.func) is None
+    return False
+
+
+@register
+class DET001NondeterminismSource(FileRule):
+    id = "DET001"
+    title = "nondeterminism source in a seeded replay path"
+    rationale = (
+        "Replay paths must be pure functions of (circuit, specs, seed): "
+        "wall clocks, OS entropy, and hash-ordered set iteration all "
+        "produce output that cannot be reproduced from the recorded "
+        "root seed."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return any(
+            path == entry or (entry.endswith("/") and path.startswith(entry))
+            for entry in REPLAY_PATH_MODULES
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                resolved = ctx.resolve_call(node)
+                if resolved in FORBIDDEN_CALLS:
+                    yield Finding(
+                        rule=self.id,
+                        path=ctx.path,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        message=(
+                            f"'{resolved}' is a per-run nondeterminism "
+                            f"source; replay paths may only consume the "
+                            f"threaded seed (timing metrics should use "
+                            f"time.perf_counter)"
+                        ),
+                        scope=ctx.scope_of(node),
+                        text=ctx.line_text(node.lineno),
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _iter_is_raw_set(node.iter, ctx):
+                    yield Finding(
+                        rule=self.id,
+                        path=ctx.path,
+                        line=node.iter.lineno,
+                        column=node.iter.col_offset,
+                        message=(
+                            "iterating a set directly: order depends on "
+                            "PYTHONHASHSEED across processes; iterate "
+                            "sorted(...) in replay paths"
+                        ),
+                        scope=ctx.scope_of(node),
+                        text=ctx.line_text(node.iter.lineno),
+                    )

@@ -16,13 +16,14 @@ derivation:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
 __all__ = [
     "root_sequence",
     "make_rng",
+    "library_rng",
     "trajectory_rng",
     "StreamFactory",
 ]
@@ -40,6 +41,21 @@ def root_sequence(seed: Optional[int]) -> np.random.SeedSequence:
 def make_rng(seed: Optional[int] = None) -> np.random.Generator:
     """Create a Philox-backed generator from an integer seed (or entropy)."""
     return np.random.Generator(np.random.Philox(root_sequence(seed)))
+
+
+def library_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """The sanctioned generator for circuit-library and utility randomness.
+
+    Workload builders (``random_brickwork``, Haar-random unitaries, ...)
+    historically drew from ``np.random.default_rng`` — PCG64, not the
+    Philox trajectory streams — and registered circuit families are keyed
+    to those exact bit sequences.  This wrapper preserves them bit for
+    bit while giving the draw one auditable home: RNG001 (``repro.lint``)
+    flags any ``numpy.random`` call outside this module, so construction
+    randomness flows through here and *execution* randomness through
+    :func:`trajectory_rng` — never through an unseeded side channel.
+    """
+    return np.random.default_rng(seed)
 
 
 def trajectory_rng(seed: Optional[int], trajectory_index: int) -> np.random.Generator:
@@ -65,7 +81,7 @@ class StreamFactory:
         that all workers still agree on the stream tree.
     """
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None) -> None:
         if seed is None:
             seed = int(np.random.SeedSequence().generate_state(1)[0])
         self.seed = int(seed)
@@ -74,7 +90,7 @@ class StreamFactory:
         """Stream for a single trajectory index."""
         return trajectory_rng(self.seed, trajectory_index)
 
-    def rngs_for(self, trajectory_indices: Sequence[int]) -> list:
+    def rngs_for(self, trajectory_indices: Sequence[int]) -> List[np.random.Generator]:
         """One independent stream per stacked trajectory.
 
         The vectorized executor's batch counterpart of :meth:`rng_for`:

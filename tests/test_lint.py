@@ -1,0 +1,934 @@
+"""Tests for ``repro.lint``: every rule catches a seeded violation.
+
+Each rule gets positive fixtures (a planted violation the rule must
+flag) and negative fixtures (the sanctioned idiom it must stay quiet
+on), plus coverage of the suppression comments, baseline round-trip,
+CLI exit codes, and a meta-test asserting the live codebase is
+lint-clean against the committed baseline.
+
+Fixture trees are tiny synthetic source roots laid out like
+``src/repro`` (rules scope themselves by relative path), written to
+``tmp_path`` and linted via the public :func:`repro.lint.run_lint`.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    BaselineEntry,
+    LintError,
+    all_rules,
+    default_baseline_path,
+    default_root,
+    load_baseline,
+    partition,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.cli import main as lint_main
+
+
+def make_tree(root: Path, files: dict) -> Path:
+    """Write a fixture source tree: relative path -> source text."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+def rule_ids(findings) -> list:
+    return [f.rule for f in findings]
+
+
+# --------------------------------------------------------------------- #
+# XP001: direct numpy compute in device-path modules
+# --------------------------------------------------------------------- #
+class TestXP001:
+    def test_flags_numpy_compute_in_device_path(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import numpy as np\n"
+                    "def prep(stack, m):\n"
+                    "    return np.matmul(m, stack)\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["XP001"])
+        assert rule_ids(findings) == ["XP001"]
+        assert findings[0].path == "execution/vectorized.py"
+        assert findings[0].line == 3
+        assert "matmul" in findings[0].message
+        assert findings[0].scope == "prep"
+
+    def test_xp_namespace_calls_pass(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "def prep(stack, m, xp):\n"
+                    "    return xp.matmul(m, stack)\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["XP001"]) == []
+
+    def test_construction_calls_allowed(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "backends/batched_statevector.py": (
+                    "import numpy as np\n"
+                    "def buffers(n):\n"
+                    "    a = np.empty((4, 2**n), dtype=np.complex128)\n"
+                    "    b = np.asarray([1, 2], dtype=np.intp)\n"
+                    "    return a, np.zeros_like(b)\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["XP001"]) == []
+
+    def test_non_device_module_not_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "analysis/estimators.py": (
+                    "import numpy as np\n"
+                    "def mean(x):\n"
+                    "    return np.sum(x) / len(x)\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["XP001"]) == []
+
+    def test_boundary_allowlist_backend_py(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "linalg/backend.py": (
+                    "import numpy as np\n"
+                    "def to_host(a):\n"
+                    "    return np.asarray(np.sum(a))\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["XP001"]) == []
+
+    def test_from_import_and_submodule_resolution(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "linalg/decompositions.py": (
+                    "from numpy import einsum\n"
+                    "import numpy.linalg\n"
+                    "import numpy as np\n"
+                    "def f(a, b):\n"
+                    "    x = einsum('ij,jk->ik', a, b)\n"
+                    "    return np.linalg.svd(x)\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["XP001"])
+        assert sorted(f.line for f in findings) == [5, 6]
+
+    def test_local_name_collision_not_flagged(self, tmp_path):
+        # A local object with a compute-sounding method is not numpy.
+        make_tree(
+            tmp_path,
+            {
+                "execution/sharded.py": (
+                    "def f(pool, work):\n"
+                    "    return pool.sum(work)\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["XP001"]) == []
+
+
+# --------------------------------------------------------------------- #
+# XP002: host transfers inside executor loops
+# --------------------------------------------------------------------- #
+class TestXP002:
+    def test_to_host_in_loop_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "def deliver(backend, rows):\n"
+                    "    out = []\n"
+                    "    for row in rows:\n"
+                    "        out.append(backend.to_host(row))\n"
+                    "    return out\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["XP002"])
+        assert rule_ids(findings) == ["XP002"]
+        assert findings[0].line == 4
+
+    def test_to_host_outside_loop_ok(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "def deliver(backend, stack):\n"
+                    "    norms = backend.to_host(stack)\n"
+                    "    return norms\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["XP002"]) == []
+
+    def test_zero_arg_get_in_loop_flagged_dict_get_ok(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/sharded.py": (
+                    "def drain(chunks, cache):\n"
+                    "    for c in chunks:\n"
+                    "        host = c.get()\n"
+                    "        hit = cache.get('key')\n"
+                    "    return host, hit\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["XP002"])
+        assert [f.line for f in findings] == [3]
+
+    def test_float_of_device_derived_in_loop(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "backends/batched_statevector.py": (
+                    "def weights(self, xp, rows):\n"
+                    "    norms = xp.einsum('bi,bi->b', rows, rows)\n"
+                    "    out = []\n"
+                    "    for r in range(4):\n"
+                    "        out.append(float(norms[r]))\n"
+                    "    return out\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["XP002"])
+        assert rule_ids(findings) == ["XP002"]
+        assert "norms" in findings[0].message
+
+    def test_float_of_host_array_in_loop_ok(self, tmp_path):
+        # Crossing once via to_host then reading per-row floats is the
+        # sanctioned pattern (what _apply_noise_step does).
+        make_tree(
+            tmp_path,
+            {
+                "backends/batched_statevector.py": (
+                    "def weights(self, ab, xp, rows):\n"
+                    "    norms = xp.einsum('bi,bi->b', rows, rows)\n"
+                    "    norms_host = ab.to_host(norms)\n"
+                    "    out = []\n"
+                    "    for r in range(4):\n"
+                    "        out.append(float(norms_host[r]))\n"
+                    "    return out\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["XP002"]) == []
+
+    def test_comprehension_counts_as_loop(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/tensornet.py": (
+                    "def drain(ab, rows):\n"
+                    "    return [ab.to_host(r) for r in rows]\n"
+                )
+            },
+        )
+        assert rule_ids(run_lint(tmp_path, ["XP002"])) == ["XP002"]
+
+    def test_non_hot_path_module_ignored(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "data/io.py": (
+                    "def drain(ab, rows):\n"
+                    "    return [ab.to_host(r) for r in rows]\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["XP002"]) == []
+
+
+# --------------------------------------------------------------------- #
+# RNG001: unmanaged randomness
+# --------------------------------------------------------------------- #
+class TestRNG001:
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "channels/noise_model.py": (
+                    "import numpy as np\n"
+                    "def draw():\n"
+                    "    return np.random.default_rng().random()\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["RNG001"])
+        assert rule_ids(findings) == ["RNG001"]
+        assert "default_rng" in findings[0].message
+
+    def test_from_import_default_rng_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "pts/adaptive.py": (
+                    "from numpy.random import default_rng\n"
+                    "def draw(seed):\n"
+                    "    return default_rng(seed)\n"
+                )
+            },
+        )
+        assert rule_ids(run_lint(tmp_path, ["RNG001"])) == ["RNG001"]
+
+    def test_stdlib_random_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "sweep/runner.py": (
+                    "import random\n"
+                    "def jitter():\n"
+                    "    return random.random()\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["RNG001"])
+        assert rule_ids(findings) == ["RNG001"]
+        assert "process-global" in findings[0].message
+
+    def test_generator_annotation_not_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "pts/base.py": (
+                    "import numpy as np\n"
+                    "def sample(rng: np.random.Generator) -> np.ndarray:\n"
+                    "    return rng.random(10)\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["RNG001"]) == []
+
+    def test_rng_machinery_module_exempt(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "rng.py": (
+                    "import numpy as np\n"
+                    "def make_rng(seed):\n"
+                    "    return np.random.Generator(np.random.Philox(seed))\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["RNG001"]) == []
+
+    def test_repro_rng_helpers_pass(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "circuits/library.py": (
+                    "from repro.rng import library_rng\n"
+                    "def build(seed):\n"
+                    "    return library_rng(seed)\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["RNG001"]) == []
+
+
+# --------------------------------------------------------------------- #
+# DET001: nondeterminism in replay paths
+# --------------------------------------------------------------------- #
+class TestDET001:
+    def test_wall_clock_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/batched.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["DET001"])
+        assert rule_ids(findings) == ["DET001"]
+        assert "time.time" in findings[0].message
+
+    def test_perf_counter_allowed(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/batched.py": (
+                    "import time\n"
+                    "def measure():\n"
+                    "    return time.perf_counter()\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["DET001"]) == []
+
+    def test_os_urandom_and_uuid_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "trajectory/events.py": (
+                    "import os\n"
+                    "import uuid\n"
+                    "def tag():\n"
+                    "    return os.urandom(8), uuid.uuid4()\n"
+                )
+            },
+        )
+        assert rule_ids(run_lint(tmp_path, ["DET001"])) == ["DET001", "DET001"]
+
+    def test_set_iteration_flagged_sorted_ok(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "backends/pauli_frame.py": (
+                    "def order(qubits):\n"
+                    "    out = []\n"
+                    "    for q in {str(q) for q in qubits}:\n"
+                    "        out.append(q)\n"
+                    "    for q in sorted(set(qubits)):\n"
+                    "        out.append(q)\n"
+                    "    return out\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["DET001"])
+        assert [f.line for f in findings] == [3]
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_non_replay_module_ignored(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "sweep/report.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["DET001"]) == []
+
+
+# --------------------------------------------------------------------- #
+# STRAT001: the cross-module executor contract
+# --------------------------------------------------------------------- #
+COMPLIANT_DISPATCH = """\
+def _build_foo(backend, sample_kwargs, kwargs):
+    from repro.execution.foo import FooExecutor
+    return FooExecutor(backend, **kwargs)
+
+STRATEGY_BUILDERS = {"foo": _build_foo}
+
+def run_ptsbe_stream(circuit, sampler, strategy="auto"):
+    executor = STRATEGY_BUILDERS[strategy](None, None, {})
+    stream = executor.execute_stream(circuit, [], seed=0, retain=True)
+    stream.routing = "explicit"
+    return stream
+"""
+
+COMPLIANT_EXECUTOR = """\
+class FooExecutor:
+    def execute_stream(self, circuit, specs, seed=None, retain=True):
+        return StreamedResult(engine="foo")
+
+    def execute(self, circuit, specs, seed=None):
+        return self.execute_stream(circuit, specs, seed=seed).finalize()
+"""
+
+
+class TestSTRAT001:
+    def fixture(self, tmp_path, dispatch=COMPLIANT_DISPATCH, executor=COMPLIANT_EXECUTOR):
+        return make_tree(
+            tmp_path,
+            {
+                "execution/batched.py": dispatch,
+                "execution/foo.py": executor,
+            },
+        )
+
+    def test_compliant_tree_clean(self, tmp_path):
+        self.fixture(tmp_path)
+        assert run_lint(tmp_path, ["STRAT001"]) == []
+
+    def test_missing_execute_stream(self, tmp_path):
+        broken = COMPLIANT_EXECUTOR.replace("execute_stream", "execute_batch")
+        self.fixture(tmp_path, executor=broken)
+        findings = run_lint(tmp_path, ["STRAT001"])
+        assert any("no execute_stream" in f.message for f in findings)
+        assert findings[0].path == "execution/foo.py"
+
+    def test_missing_seed_parameter(self, tmp_path):
+        broken = COMPLIANT_EXECUTOR.replace(
+            "def execute_stream(self, circuit, specs, seed=None, retain=True):",
+            "def execute_stream(self, circuit, specs, retain=True):",
+        )
+        self.fixture(tmp_path, executor=broken)
+        findings = run_lint(tmp_path, ["STRAT001"])
+        assert len(findings) == 1
+        assert "'seed'" in findings[0].message
+
+    def test_missing_retain_parameter(self, tmp_path):
+        broken = COMPLIANT_EXECUTOR.replace(
+            "def execute_stream(self, circuit, specs, seed=None, retain=True):",
+            "def execute_stream(self, circuit, specs, seed=None):",
+        )
+        self.fixture(tmp_path, executor=broken)
+        findings = run_lint(tmp_path, ["STRAT001"])
+        assert len(findings) == 1
+        assert "'retain'" in findings[0].message
+
+    def test_engine_not_recorded(self, tmp_path):
+        broken = COMPLIANT_EXECUTOR.replace('engine="foo"', 'engine="bar"')
+        self.fixture(tmp_path, executor=broken)
+        findings = run_lint(tmp_path, ["STRAT001"])
+        assert any("engine='foo'" in f.message for f in findings)
+
+    def test_dispatch_must_attach_routing(self, tmp_path):
+        broken = COMPLIANT_DISPATCH.replace('    stream.routing = "explicit"\n', "")
+        self.fixture(tmp_path, dispatch=broken)
+        findings = run_lint(tmp_path, ["STRAT001"])
+        assert any("routing" in f.message for f in findings)
+
+    def test_unresolvable_builder(self, tmp_path):
+        # No `return <Cls>(...)` at all: the builder cannot be resolved.
+        dispatch = (
+            "def _build_foo(backend, sample_kwargs, kwargs):\n"
+            "    pass\n"
+            "\n"
+            'STRATEGY_BUILDERS = {"foo": _build_foo}\n'
+            "def run(stream):\n"
+            "    stream.routing = 'x'\n"
+        )
+        self.fixture(tmp_path, dispatch=dispatch)
+        findings = run_lint(tmp_path, ["STRAT001"])
+        assert any("does not resolve" in f.message for f in findings)
+
+    def test_builder_returning_unknown_class(self, tmp_path):
+        # Resolves to a dispatch-local name that is not a class def.
+        dispatch = (
+            "def _build_foo(backend, sample_kwargs, kwargs):\n"
+            "    return make_something()\n"
+            "\n"
+            'STRATEGY_BUILDERS = {"foo": _build_foo}\n'
+            "def run(stream):\n"
+            "    stream.routing = 'x'\n"
+        )
+        self.fixture(tmp_path, dispatch=dispatch)
+        findings = run_lint(tmp_path, ["STRAT001"])
+        assert any("not found" in f.message for f in findings)
+
+    def test_non_repro_tree_silent(self, tmp_path):
+        make_tree(tmp_path, {"pkg/module.py": "x = 1\n"})
+        assert run_lint(tmp_path, ["STRAT001"]) == []
+
+    def test_serial_style_local_class(self, tmp_path):
+        # The serial engine's builder constructs a class defined in the
+        # dispatch module itself (no builder-local import).
+        dispatch = (
+            "class BatchedExecutor:\n"
+            "    def execute_stream(self, circuit, specs, seed=None, retain=True):\n"
+            '        return StreamedResult(engine="serial")\n'
+            "\n"
+            "def _build_serial(backend, sample_kwargs, kwargs):\n"
+            "    return BatchedExecutor(backend, **kwargs)\n"
+            "\n"
+            'STRATEGY_BUILDERS = {"serial": _build_serial}\n'
+            "\n"
+            "def run_ptsbe_stream(stream):\n"
+            '    stream.routing = "explicit"\n'
+            "    return stream\n"
+        )
+        make_tree(tmp_path, {"execution/batched.py": dispatch})
+        assert run_lint(tmp_path, ["STRAT001"]) == []
+
+
+# --------------------------------------------------------------------- #
+# suppressions
+# --------------------------------------------------------------------- #
+class TestSuppressions:
+    def test_inline_disable_silences_one_rule_one_line(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import numpy as np\n"
+                    "def f(a, b):\n"
+                    "    x = np.matmul(a, b)  # replint: disable=XP001 -- justified\n"
+                    "    y = np.matmul(a, b)\n"
+                    "    return x, y\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["XP001"])
+        assert [f.line for f in findings] == [4]
+
+    def test_disable_all_wildcard(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import numpy as np\n"
+                    "import time\n"
+                    "def f(a, b):\n"
+                    "    return np.matmul(a, b), time.time()  # replint: disable=all\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path) == []
+
+    def test_disable_file(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "# replint: disable-file=XP001 -- vendored kernel shim\n"
+                    "import numpy as np\n"
+                    "def f(a, b):\n"
+                    "    return np.matmul(a, b)\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["XP001"]) == []
+
+    def test_disable_list_of_rules(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import numpy as np\n"
+                    "import time\n"
+                    "def f(a, b):\n"
+                    "    return np.matmul(a, b), time.time()  # replint: disable=XP001,DET001\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path) == []
+
+    def test_unrelated_rule_still_fires(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import time\n"
+                    "def f():\n"
+                    "    return time.time()  # replint: disable=XP001\n"
+                )
+            },
+        )
+        assert rule_ids(run_lint(tmp_path)) == ["DET001"]
+
+
+# --------------------------------------------------------------------- #
+# baseline round-trip
+# --------------------------------------------------------------------- #
+class TestBaseline:
+    def seeded_tree(self, tmp_path):
+        return make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import numpy as np\n"
+                    "def f(a, b):\n"
+                    "    return np.matmul(a, b)\n"
+                )
+            },
+        )
+
+    def test_round_trip(self, tmp_path):
+        self.seeded_tree(tmp_path)
+        findings = run_lint(tmp_path)
+        assert findings
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_file, notes="test")
+        entries = load_baseline(baseline_file)
+        assert len(entries) == len(findings)
+        new, baselined, stale = partition(findings, entries)
+        assert new == [] and stale == []
+        assert len(baselined) == len(findings)
+
+    def test_line_churn_does_not_invalidate(self, tmp_path):
+        self.seeded_tree(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(run_lint(tmp_path), baseline_file)
+        # Insert unrelated lines above the finding: key is line-agnostic.
+        target = tmp_path / "execution/vectorized.py"
+        target.write_text("import numpy as np\n\n\n" + target.read_text().split("\n", 1)[1])
+        new, baselined, stale = partition(
+            run_lint(tmp_path), load_baseline(baseline_file)
+        )
+        assert new == [] and stale == []
+
+    def test_count_aware_matching(self, tmp_path):
+        self.seeded_tree(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(run_lint(tmp_path), baseline_file)
+        # Duplicate the offending line: one finding is absorbed, the
+        # second is new — grandfathered debt must not hide growth.
+        target = tmp_path / "execution/vectorized.py"
+        target.write_text(
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.matmul(a, b)\n"
+            "def g(a, b):\n"
+            "    return np.matmul(a, b)\n"
+        )
+        new, baselined, stale = partition(
+            run_lint(tmp_path), load_baseline(baseline_file)
+        )
+        # Different scope -> different key: the g() copy is new.
+        assert len(new) == 1 and new[0].scope == "g"
+        assert len(baselined) == 1 and stale == []
+
+    def test_stale_entries_reported(self, tmp_path):
+        self.seeded_tree(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(run_lint(tmp_path), baseline_file)
+        (tmp_path / "execution/vectorized.py").write_text(
+            "def f(a, b, xp):\n    return xp.matmul(a, b)\n"
+        )
+        new, baselined, stale = partition(
+            run_lint(tmp_path), load_baseline(baseline_file)
+        )
+        assert new == [] and baselined == []
+        assert len(stale) == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(LintError):
+            load_baseline(bad)
+        bad.write_text('{"no_entries": []}')
+        with pytest.raises(LintError):
+            load_baseline(bad)
+
+    def test_justifications_by_path_prefix(self, tmp_path):
+        self.seeded_tree(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(
+            run_lint(tmp_path),
+            baseline_file,
+            justifications={"execution/": "host tier until CuPy leg"},
+        )
+        entries = load_baseline(baseline_file)
+        assert entries[0].justification == "host tier until CuPy leg"
+
+
+# --------------------------------------------------------------------- #
+# CLI behavior and exit codes
+# --------------------------------------------------------------------- #
+class TestCLI:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        make_tree(tmp_path, {"data/io.py": "x = 1\n"})
+        assert lint_main(["--root", str(tmp_path), "--no-baseline"]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import numpy as np\n"
+                    "def f(a, b):\n"
+                    "    return np.matmul(a, b)\n"
+                )
+            },
+        )
+        assert lint_main(["--root", str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "XP001" in out and "1 new" in out
+
+    def test_baselined_findings_exit_zero(self, tmp_path, capsys):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import numpy as np\n"
+                    "def f(a, b):\n"
+                    "    return np.matmul(a, b)\n"
+                )
+            },
+        )
+        baseline = tmp_path / "bl.json"
+        assert (
+            lint_main(["--root", str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
+            == 0
+        )
+        assert lint_main(["--root", str(tmp_path), "--baseline", str(baseline)]) == 0
+
+    def test_strict_fails_on_stale_entries(self, tmp_path, capsys):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import numpy as np\n"
+                    "def f(a, b):\n"
+                    "    return np.matmul(a, b)\n"
+                )
+            },
+        )
+        baseline = tmp_path / "bl.json"
+        lint_main(["--root", str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
+        (tmp_path / "execution/vectorized.py").write_text(
+            "def f(a, b, xp):\n    return xp.matmul(a, b)\n"
+        )
+        # Non-strict tolerates the stale entry; strict demands cleanup.
+        assert lint_main(["--root", str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert (
+            lint_main(["--root", str(tmp_path), "--baseline", str(baseline), "--strict"])
+            == 1
+        )
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import numpy as np\n"
+                    "def f(a, b):\n"
+                    "    return np.matmul(a, b)\n"
+                )
+            },
+        )
+        code = lint_main(["--root", str(tmp_path), "--no-baseline", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["summary"]["new"] == 1
+        assert report["new"][0]["rule"] == "XP001"
+        assert {r["id"] for r in report["rules"]} >= {
+            "XP001", "XP002", "RNG001", "DET001", "STRAT001",
+        }
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        make_tree(tmp_path, {"data/io.py": "x = 1\n"})
+        assert lint_main(["--root", str(tmp_path), "--rules", "NOPE99"]) == 2
+
+    def test_rules_filter(self, tmp_path, capsys):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "import numpy as np\n"
+                    "import time\n"
+                    "def f(a, b):\n"
+                    "    return np.matmul(a, b), time.time()\n"
+                )
+            },
+        )
+        assert lint_main(
+            ["--root", str(tmp_path), "--no-baseline", "--rules", "DET001"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "XP001" not in out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("XP001", "XP002", "RNG001", "DET001", "STRAT001"):
+            assert rule_id in out
+
+    def test_module_invocation(self, tmp_path):
+        # `python -m repro.lint` end to end, as CI invokes it.
+        make_tree(tmp_path, {"data/io.py": "x = 1\n"})
+        src = Path(__file__).resolve().parents[1] / "src"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--root", str(tmp_path), "--no-baseline"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+# --------------------------------------------------------------------- #
+# rule catalogue integrity + the live-codebase meta-test
+# --------------------------------------------------------------------- #
+class TestCatalogue:
+    def test_at_least_five_rules_registered(self):
+        ids = {rule.id for rule in all_rules()}
+        assert {"XP001", "XP002", "RNG001", "DET001", "STRAT001"} <= ids
+        for rule in all_rules():
+            assert rule.title and rule.rationale
+
+    def test_parse_error_reported_not_crash(self, tmp_path):
+        make_tree(tmp_path, {"execution/broken.py": "def f(:\n"})
+        findings = run_lint(tmp_path)
+        assert [f.rule for f in findings] == ["PARSE"]
+
+
+class TestLiveCodebase:
+    """The committed tree must be lint-clean against the committed baseline."""
+
+    def test_live_tree_has_no_new_findings(self):
+        findings = run_lint(default_root())
+        entries = load_baseline(default_baseline_path())
+        new, _, stale = partition(findings, entries)
+        assert new == [], "un-baselined lint findings:\n" + "\n".join(
+            f.render() for f in new
+        )
+        assert stale == [], "stale baseline entries (debt paid — remove them):\n" + "\n".join(
+            f"{e.rule} {e.path} {e.text!r}" for e in stale
+        )
+
+    def test_committed_baseline_is_fully_justified(self):
+        entries = load_baseline(default_baseline_path())
+        for entry in entries:
+            assert entry.justification, (
+                f"baseline entry without justification: {entry.rule} "
+                f"{entry.path} {entry.text!r}"
+            )
+
+    def test_strategy_contract_holds_on_live_tree(self):
+        # STRAT001 alone, no baseline: the live executors must satisfy
+        # the contract outright (never via grandfathering).
+        assert run_lint(default_root(), ["STRAT001"]) == []
+
+    def test_live_rng_discipline_outside_baseline(self):
+        # RNG001 and DET001 must be outright clean on the live tree.
+        assert run_lint(default_root(), ["RNG001"]) == []
+        assert run_lint(default_root(), ["DET001"]) == []
+
+
+# --------------------------------------------------------------------- #
+# optional: mypy --strict over the typed slice (mirrors the CI step)
+# --------------------------------------------------------------------- #
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_typed_slice():
+    src = Path(__file__).resolve().parents[1] / "src"
+    proc = subprocess.run(
+        [
+            "mypy",
+            "--strict",
+            "--no-error-summary",
+            str(src / "repro" / "lint"),
+            str(src / "repro" / "rng.py"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=str(src),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
