@@ -33,13 +33,16 @@ from repro.errors import (
     DataError,
     DeviceError,
     ExecutionError,
+    FaultError,
     GateError,
     NoiseModelError,
     QECError,
     ReproError,
     SamplingError,
+    WorkerCrashError,
 )
 from repro.rng import StreamFactory, make_rng, trajectory_rng
+from repro.faults import FaultPlan, FaultSpec, RecoveryEvent, RetryPolicy
 
 from repro.circuits import Circuit, Gate, library
 from repro.channels import (
@@ -103,9 +106,16 @@ __all__ = [
     "CapacityError",
     "SamplingError",
     "ExecutionError",
+    "WorkerCrashError",
+    "FaultError",
     "DeviceError",
     "QECError",
     "DataError",
+    # fault tolerance
+    "FaultSpec",
+    "FaultPlan",
+    "RetryPolicy",
+    "RecoveryEvent",
     # circuits / channels
     "Circuit",
     "Gate",

@@ -73,6 +73,30 @@ def _default_tensornet_cutoff() -> Optional[float]:
     return float(raw) if raw else None
 
 
+def _default_fault_plan():
+    """Fault-injection default: parsed ``REPRO_FAULTS`` env, else ``None``.
+
+    Same CI-hook pattern as fusion/routing: the chaos-smoke CI leg runs a
+    whole sweep under an injected plan via the environment; library code
+    should set ``Config.fault_plan`` explicitly instead.  The import is
+    deferred because :mod:`repro.faults` imports back into the error and
+    rng layers at module load.
+    """
+    raw = os.environ.get("REPRO_FAULTS", "")
+    if not raw:
+        return None
+    from repro.faults.plan import parse_fault_plan
+
+    return parse_fault_plan(raw)
+
+
+def _default_retry():
+    """Default per-work-unit retry policy (see ``repro.faults.retry``)."""
+    from repro.faults.retry import RetryPolicy
+
+    return RetryPolicy()
+
+
 @dataclass
 class Config:
     """Runtime knobs shared across the library.
@@ -157,6 +181,20 @@ class Config:
         Relative SVD truncation cutoff for the tensornet strategy.
         ``None`` (default) resolves to :attr:`svd_cutoff`; overridable
         via ``REPRO_TENSORNET_CUTOFF``.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` injecting
+        deterministic faults at the instrumented execution sites (chaos
+        testing).  ``None`` (default) disables injection entirely — the
+        hook is a single branch.  Overridable via the ``REPRO_FAULTS``
+        environment variable (read at :class:`Config` construction; see
+        :func:`repro.faults.plan.parse_fault_plan` for the syntax).
+    retry:
+        The :class:`~repro.faults.retry.RetryPolicy` applied per work
+        unit (parallel worker slice, sharded device, vectorized or
+        tensornet stack chunk).  Seed threading makes a retried unit
+        re-emit bitwise-identical shots, so the default policy (3
+        attempts, tiny exponential backoff with deterministic jitter) is
+        always safe to leave on.
     """
 
     dtype: np.dtype = np.dtype(np.complex128)
@@ -173,6 +211,8 @@ class Config:
     max_tensornet_qubits: int = 128
     tensornet_max_bond: Optional[int] = field(default_factory=_default_tensornet_max_bond)
     tensornet_cutoff: Optional[float] = field(default_factory=_default_tensornet_cutoff)
+    fault_plan: Optional["FaultPlan"] = field(default_factory=_default_fault_plan)  # noqa: F821
+    retry: "RetryPolicy" = field(default_factory=_default_retry)  # noqa: F821
 
     def real_dtype(self) -> np.dtype:
         """Matching real dtype for probability vectors."""

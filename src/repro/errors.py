@@ -56,6 +56,31 @@ class ExecutionError(ReproError):
     """Batched-execution failure (no trajectories, scheduler mismatch, ...)."""
 
 
+class WorkerCrashError(ExecutionError):
+    """A worker process (or emulated device) died mid-unit.
+
+    Raised by the fault-injection layer to emulate a hard crash, and used
+    by the retry machinery as the classification for real pool deaths
+    (``BrokenProcessPool``): crash-class failures are what the sharded
+    degradation ladder responds to by rebinning the dead device's groups
+    across survivors instead of plain retry.
+    """
+
+
+class FaultError(ExecutionError):
+    """A work unit exhausted its recovery options.
+
+    Carries the failing unit's name and the attempt count; the triggering
+    exception rides on ``__cause__`` so callers see the full chain
+    (e.g. ``FaultError <- BrokenProcessPool``).
+    """
+
+    def __init__(self, message: str, unit: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.unit = unit
+        self.attempts = attempts
+
+
 class DeviceError(ReproError):
     """Emulated-device failure (bad mesh shape, partition mismatch, ...)."""
 

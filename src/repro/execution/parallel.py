@@ -22,6 +22,14 @@ through an :class:`~repro.execution.streaming.OrderedDelivery` buffer that
 re-establishes ascending-trajectory-id order — the same order
 :meth:`ParallelExecutor.execute` materializes — before chunks reach the
 consumer.
+
+Fault tolerance: each worker slice is one retryable unit
+(``parallel/slice:{k}``).  The fault-injection hook fires *inside* the
+worker (the payload carries the plan and attempt number), so injected
+crashes emulate real subprocess deaths; the pool loop in
+:func:`~repro.execution.streaming.stream_pool` retries failed slices
+under ``Config.retry`` — bitwise-identical re-emission, by the same seed
+threading — and translates raw pool exceptions into repro errors.
 """
 
 from __future__ import annotations
@@ -29,11 +37,19 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.circuit import Circuit
+from repro.config import DEFAULT_CONFIG, Config
 from repro.errors import ExecutionError
 from repro.execution.batched import BackendSpec, BatchedExecutor
 from repro.execution.results import PTSBEResult, TrajectoryResult
 from repro.execution.scheduler import Scheduler
-from repro.execution.streaming import OrderedDelivery, StreamedResult, stream_pool
+from repro.execution.streaming import (
+    OrderedDelivery,
+    PoolJob,
+    StreamedResult,
+    stream_pool,
+)
+from repro.faults.retry import FaultContext, RecoveryEvent, run_unit_with_retry
+from repro.faults.plan import maybe_inject
 from repro.pts.base import TrajectorySpec
 from repro.rng import StreamFactory
 
@@ -41,8 +57,15 @@ __all__ = ["ParallelExecutor"]
 
 
 def _worker(args) -> List[TrajectoryResult]:
-    """Top-level worker (must be module-level for pickling)."""
-    circuit, backend_spec, specs, seed, sample_kwargs = args
+    """Top-level worker (must be module-level for pickling).
+
+    The trailing ``(unit, attempt, plan)`` triple is the fault-injection
+    context: the hook fires here, inside the subprocess, so an injected
+    worker-crash surfaces to the pool exactly like a real one.
+    """
+    circuit, backend_spec, specs, seed, sample_kwargs, fault = args
+    unit, attempt, plan = fault
+    maybe_inject(plan, unit, attempt, seed)
     executor = BatchedExecutor(backend_spec, sample_kwargs=sample_kwargs)
     result = executor.execute(circuit, specs, seed=seed)
     return result.trajectories
@@ -73,6 +96,16 @@ class ParallelExecutor:
         self.num_workers = int(num_workers)
         self.scheduler = scheduler or Scheduler("greedy")
         self.sample_kwargs = dict(sample_kwargs or {})
+
+    def _backend_config(self) -> Config:
+        """The :class:`Config` governing this executor's fault behavior.
+
+        Read from the :class:`BackendSpec`'s ``config`` option when
+        present (the same object the workers will construct their
+        backends with), else the library default.
+        """
+        config = dict(self.backend.options).get("config")
+        return config if config is not None else DEFAULT_CONFIG
 
     def execute(
         self,
@@ -106,12 +139,12 @@ class ParallelExecutor:
         if not specs:
             raise ExecutionError("no trajectory specs to execute")
         streams = StreamFactory(seed)
+        ctx = FaultContext.from_config(
+            self._backend_config(), streams.seed, strategy="parallel"
+        )
+        events: List[RecoveryEvent] = []
         assignment = self.scheduler.assign(specs, self.num_workers)
         chunks = [chunk for chunk in assignment.per_device if chunk]
-        payloads = [
-            (circuit, self.backend, chunk, streams.seed, self.sample_kwargs)
-            for chunk in chunks
-        ]
         # Materialized order is a stable sort of (worker, slot) flattening
         # by trajectory id; precompute each slot's global position so the
         # reorder buffer can release contiguous prefixes as workers finish.
@@ -125,18 +158,47 @@ class ParallelExecutor:
             for rank, (_, w, j) in enumerate(sorted(flat, key=lambda item: item[0]))
         }
 
-        def tag_results(w, trajectories):
-            return [(rank_of[(w, j)], t) for j, t in enumerate(trajectories)]
+        def make_job(w: int, chunk) -> PoolJob:
+            unit = f"parallel/slice:{w}"
+            return PoolJob(
+                unit=unit,
+                payload_for=lambda attempt: (
+                    circuit,
+                    self.backend,
+                    chunk,
+                    streams.seed,
+                    self.sample_kwargs,
+                    (unit, attempt, ctx.plan),
+                ),
+                tag=lambda trajectories: [
+                    (rank_of[(w, j)], t) for j, t in enumerate(trajectories)
+                ],
+            )
+
+        jobs = [make_job(w, chunk) for w, chunk in enumerate(chunks)]
 
         def deliver():
             delivery = OrderedDelivery(len(specs))
-            if len(payloads) == 1:
-                ready = delivery.add(tag_results(0, _worker(payloads[0])))
+            if len(jobs) == 1:
+                job = jobs[0]
+                trajectories = run_unit_with_retry(
+                    lambda attempt: _worker(job.payload_for(attempt)),
+                    unit=job.unit,
+                    ctx=ctx,
+                    recovery=events,
+                    inject=False,  # the worker injects from its payload
+                )
+                ready = delivery.add(job.tag(trajectories))
                 if ready:
                     yield ready
                 return
             yield from stream_pool(
-                payloads, _worker, delivery, self.num_workers, tag_results
+                jobs,
+                _worker,
+                delivery,
+                self.num_workers,
+                ctx=ctx,
+                recovery=events,
             )
 
         return StreamedResult(
@@ -146,4 +208,5 @@ class ParallelExecutor:
             total_trajectories=len(specs),
             engine="parallel",
             retain=retain,
+            recovery=events,
         )

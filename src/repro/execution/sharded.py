@@ -36,6 +36,8 @@ same result ordering guarantees.
 
 from __future__ import annotations
 
+import dataclasses
+from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuits.circuit import Circuit
@@ -43,13 +45,25 @@ from repro.config import Config, DEFAULT_CONFIG
 from repro.devices.device import Device, DeviceMesh
 from repro.devices.memory import statevector_bytes
 from repro.devices.perf_model import BackendTimings, PAPER_STATEVECTOR_TIMINGS
-from repro.errors import CapacityError, ExecutionError
+from repro.errors import CapacityError, ExecutionError, FaultError
 from repro.execution.batched import BackendSpec
 from repro.linalg.apply import MAX_VIEW_QUBITS
 from repro.execution.results import PTSBEResult, TrajectoryResult
 from repro.execution.scheduler import Scheduler
-from repro.execution.streaming import OrderedDelivery, StreamedResult, stream_pool
+from repro.execution.streaming import (
+    OrderedDelivery,
+    PoolJob,
+    StreamedResult,
+    stream_pool,
+)
 from repro.execution.vectorized import VectorizedExecutor
+from repro.faults.plan import maybe_inject
+from repro.faults.retry import (
+    CRASH_EXCEPTIONS,
+    FaultContext,
+    RecoveryEvent,
+    describe_exception,
+)
 from repro.pts.base import SpecGroup, TrajectorySpec, deduplicate_specs
 from repro.rng import StreamFactory
 
@@ -118,19 +132,28 @@ class _MeasuredCosts:
         )
 
 
-def _shard_worker(args) -> List[Tuple[int, TrajectoryResult]]:
+def _shard_worker(args):
     """Top-level worker (must be module-level for pickling).
 
     Receives one device shard as ``(global_index, spec)`` pairs and runs
-    it as chunked trajectory stacks; returns results tagged with their
-    global spec positions so the caller can restore exact spec order.
+    it as chunked trajectory stacks; returns ``(tagged, recovery)`` —
+    results tagged with their global spec positions so the caller can
+    restore exact spec order, plus any recovery events the inner
+    vectorized run performed (its capacity ladder and chunk retries run
+    *inside* the worker, under the plan carried by the backend config).
+
+    The trailing ``(unit, attempt, plan)`` payload element is the
+    shard-level fault hook: it fires here, inside the worker, so an
+    injected shard crash reaches the parent like a real device death.
     """
-    circuit, backend_spec, indexed_specs, chunk_rows, seed = args
+    circuit, backend_spec, indexed_specs, chunk_rows, seed, fault = args
+    unit, attempt, plan = fault
+    maybe_inject(plan, unit, attempt, seed)
     indices = [i for i, _ in indexed_specs]
     specs = [s for _, s in indexed_specs]
     executor = VectorizedExecutor(backend_spec, max_batch=chunk_rows)
     result = executor.execute(circuit, specs, seed=seed)
-    return list(zip(indices, result.trajectories))
+    return list(zip(indices, result.trajectories)), result.recovery
 
 
 class ShardedExecutor:
@@ -353,6 +376,14 @@ class ShardedExecutor:
         unstarted shards and shuts the pool down.  ``retain=False`` drops
         chunks after delivery (``finalize`` unavailable) to bound memory
         for pure-ingest consumers.
+
+        Fault tolerance: each shard is one retryable unit
+        (``sharded/shard:{device_id}``).  A crash-class failure marks the
+        device dead and *rebins* its groups across the surviving devices
+        (same greedy perf-model scheduling as the initial assignment;
+        shard assignment never changes bits, so the degraded run stays
+        bitwise identical).  When the last device dies, a
+        :class:`~repro.errors.FaultError` escalates with the full chain.
         """
         circuit.freeze()
         measured = tuple(circuit.measured_qubits)
@@ -361,48 +392,157 @@ class ShardedExecutor:
         if not specs:
             raise ExecutionError("no trajectory specs to execute")
         streams = StreamFactory(seed)
+        ctx = FaultContext.from_config(
+            self._backend_config(), streams.seed, strategy="sharded"
+        )
+        events: List[RecoveryEvent] = []
         groups = deduplicate_specs(specs)
         assignment = self.scheduler.assign(groups, len(self.devices))
-        shards: List[Tuple[Device, List[Tuple[int, TrajectorySpec]]]] = []
-        for device, shard_groups in zip(self.devices, assignment.per_device):
-            if not shard_groups:
-                continue
+
+        def make_job(
+            device: Device, shard_groups: List[SpecGroup], unit: str
+        ) -> PoolJob:
             # Keep first-occurrence order within the shard so its local
             # dedup reproduces exactly these groups.
             indices = sorted(i for g in shard_groups for i in g.indices)
-            shards.append((device, [(i, specs[i]) for i in indices]))
-        payloads = [
-            (
-                circuit,
-                self.backend,
-                indexed,
-                self._device_chunk_rows(device, circuit),
-                streams.seed,
+            indexed = [(i, specs[i]) for i in indices]
+            chunk_rows = self._device_chunk_rows(device, circuit)
+
+            def tag(result):
+                tagged, inner_events = result
+                # Inner events carry the worker-local unit names
+                # (vectorized/stack:a:b); prefix the shard so the run's
+                # recovery log says *where* each inner recovery happened.
+                events.extend(
+                    dataclasses.replace(e, unit=f"{unit}/{e.unit}")
+                    for e in inner_events
+                )
+                return tagged
+
+            return PoolJob(
+                unit=unit,
+                payload_for=lambda attempt: (
+                    circuit,
+                    self.backend,
+                    indexed,
+                    chunk_rows,
+                    streams.seed,
+                    (unit, attempt, ctx.plan),
+                ),
+                tag=tag,
+                meta=(device, shard_groups),
             )
-            for device, indexed in shards
+
+        jobs = [
+            make_job(device, shard_groups, f"sharded/shard:{device.device_id}")
+            for device, shard_groups in zip(self.devices, assignment.per_device)
+            if shard_groups
         ]
+
+        dead: set = set()
+        generation = [0]
+
+        def rebin(job: PoolJob, exc: BaseException) -> List[PoolJob]:
+            """Degradation ladder: redistribute a dead device's groups.
+
+            The rebin reuses the executor's own scheduler (greedy by
+            perf-model cost) over the surviving devices; because the
+            bitwise cross-strategy contract holds for *any* shard
+            assignment, the degraded run's shots are unchanged.
+            """
+            device, shard_groups = job.meta
+            dead.add(device.device_id)
+            survivors = [d for d in self.devices if d.device_id not in dead]
+            if not survivors:
+                raise FaultError(
+                    f"device {device.name!r} died ({describe_exception(exc)}) "
+                    f"and no devices survive to absorb its "
+                    f"{len(shard_groups)} group(s)",
+                    unit=job.unit,
+                    attempts=1,
+                ) from exc
+            generation[0] += 1
+            events.append(
+                RecoveryEvent(
+                    kind="rebin",
+                    strategy="sharded",
+                    unit=job.unit,
+                    attempt=0,
+                    error=describe_exception(exc),
+                    detail=(
+                        f"{len(shard_groups)} group(s) rebinned across "
+                        f"{len(survivors)} surviving device(s)"
+                    ),
+                )
+            )
+            sub_assignment = self.scheduler.assign(shard_groups, len(survivors))
+            return [
+                make_job(
+                    survivor,
+                    sub_groups,
+                    f"sharded/shard:{survivor.device_id}/rebin:{generation[0]}",
+                )
+                for survivor, sub_groups in zip(survivors, sub_assignment.per_device)
+                if sub_groups
+            ]
 
         def deliver():
             delivery = OrderedDelivery(len(specs))
-            if self.num_workers > 1 and len(payloads) > 1:
+            if self.num_workers > 1 and len(jobs) > 1:
                 # Shard workers already tag results with global spec
-                # positions; the pool helper handles completion order and
-                # abandonment cleanup.
+                # positions; the pool helper handles completion order,
+                # retry/rebin, and abandonment cleanup.
                 for ready in stream_pool(
-                    payloads,
+                    jobs,
                     _shard_worker,
                     delivery,
                     self.num_workers,
-                    lambda _index, indexed: indexed,
+                    ctx=ctx,
+                    recovery=events,
+                    on_crash=rebin,
                 ):
                     self._observed.observe(ready)
                     yield ready
-            else:
-                for payload in payloads:
-                    ready = delivery.add(_shard_worker(payload))
-                    if ready:
-                        self._observed.observe(ready)
-                        yield ready
+                return
+            # In-process path (emulated devices): the same retry/rebin
+            # ladder as the pool, minus the pool-substrate concerns.
+            queue = deque((job, 0) for job in jobs)
+            while queue:
+                job, attempt = queue.popleft()
+                try:
+                    result = _shard_worker(job.payload_for(attempt))
+                except CapacityError:
+                    raise
+                except ctx.policy.retryable as exc:
+                    if isinstance(exc, CRASH_EXCEPTIONS):
+                        queue.extend((j, 0) for j in rebin(job, exc))
+                        continue
+                    if not ctx.policy.is_retryable(exc):
+                        raise
+                    attempt += 1
+                    if attempt >= ctx.policy.max_attempts:
+                        raise FaultError(
+                            f"work unit {job.unit!r} failed after {attempt} "
+                            f"attempt(s): {describe_exception(exc)}",
+                            unit=job.unit,
+                            attempts=attempt,
+                        ) from exc
+                    events.append(
+                        RecoveryEvent(
+                            kind="retry",
+                            strategy="sharded",
+                            unit=job.unit,
+                            attempt=attempt,
+                            error=describe_exception(exc),
+                        )
+                    )
+                    ctx.sleep_backoff(job.unit, attempt)
+                    queue.appendleft((job, attempt))
+                    continue
+                ready = delivery.add(job.tag(result), reissue=attempt > 0)
+                if ready:
+                    self._observed.observe(ready)
+                    yield ready
 
         return StreamedResult(
             deliver(),
@@ -412,4 +552,5 @@ class ShardedExecutor:
             unique_preparations=len(groups),
             engine="sharded",
             retain=retain,
+            recovery=events,
         )

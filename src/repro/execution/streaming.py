@@ -38,17 +38,35 @@ the stream derived from ``(seed, trajectory_id)``.
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import CapacityError, ExecutionError, FaultError
 from repro.execution.results import PTSBEResult, ShotTable, TrajectoryResult
+from repro.faults.retry import (
+    CRASH_EXCEPTIONS,
+    FaultContext,
+    RecoveryEvent,
+    describe_exception,
+)
 from repro.trajectory.events import TrajectoryRecord
 
-__all__ = ["ShotChunk", "StreamedResult", "OrderedDelivery", "stream_pool"]
+__all__ = [
+    "ShotChunk",
+    "StreamedResult",
+    "OrderedDelivery",
+    "PoolJob",
+    "stream_pool",
+]
 
 
 @dataclass(frozen=True)
@@ -126,6 +144,12 @@ class StreamedResult:
         the run) want — at the price of :meth:`finalize` becoming
         unavailable: a retained full result would defeat the point, so it
         raises instead.
+    recovery:
+        Live list of :class:`~repro.faults.retry.RecoveryEvent` records —
+        every retry, rebin, and batch-halving the run performed so far.
+        Shared with the executor's delivery generator, so it grows as the
+        stream is consumed; :meth:`finalize` snapshots it onto
+        ``PTSBEResult.recovery``.  Empty for fault-free runs.
     """
 
     def __init__(
@@ -139,6 +163,7 @@ class StreamedResult:
         retain: bool = True,
         engine: Optional[str] = None,
         routing: Optional[str] = None,
+        recovery: Optional[List["RecoveryEvent"]] = None,
     ):
         self._chunks = chunks
         self.measured_qubits = tuple(measured_qubits)
@@ -149,6 +174,7 @@ class StreamedResult:
         self.engine = engine
         self.routing = routing
         self.retain = bool(retain)
+        self.recovery: List[RecoveryEvent] = recovery if recovery is not None else []
         self._total = int(total_trajectories)
         self._collected: List[TrajectoryResult] = []
         self._delivered = 0
@@ -204,15 +230,20 @@ class StreamedResult:
     def close(self) -> None:
         """Abandon the run: cancel pending work, release buffers.
 
-        Safe to call at any point (idempotent); the executor generator's
-        cleanup runs — process pools shut down with pending shards
-        cancelled, stacked backends release their device buffers.
+        Safe to call at any point (idempotent): a second close is a
+        no-op, and close after exhaustion (``finalize()`` or a completed
+        iteration) skips cleanup entirely — the generator's own
+        ``finally`` already released every buffer, so re-touching them
+        here would operate on freed resources.
         """
-        if not self._closed:
-            self._closed = True
-            self._chunks.close()
-            if self._on_close is not None:
-                self._on_close()
+        if self._closed:
+            return
+        self._closed = True
+        if self._exhausted:
+            return
+        self._chunks.close()
+        if self._on_close is not None:
+            self._on_close()
 
     def __enter__(self) -> "StreamedResult":
         return self
@@ -254,6 +285,7 @@ class StreamedResult:
             seed=self.seed,
             engine=self.engine,
             routing=self.routing,
+            recovery=list(self.recovery),
         )
 
     def __repr__(self) -> str:
@@ -281,9 +313,20 @@ class OrderedDelivery:
         self._total = int(total)
 
     def add(
-        self, completions: Sequence[Tuple[int, TrajectoryResult]]
+        self,
+        completions: Sequence[Tuple[int, TrajectoryResult]],
+        reissue: bool = False,
     ) -> List[TrajectoryResult]:
-        """Buffer completions; return the newly-contiguous ordered prefix."""
+        """Buffer completions; return the newly-contiguous ordered prefix.
+
+        ``reissue=True`` is the retry layer's accounting mode: positions
+        already delivered or buffered are silently dropped instead of
+        raising.  Seed threading guarantees a reissued trajectory is
+        bitwise identical to the first delivery, so keeping the original
+        is correct — the recovered stream concatenates exactly like a
+        fault-free one.  Duplicate positions in a *non*-reissued unit
+        still raise, preserving the executor-bug tripwire.
+        """
         for position, trajectory in completions:
             if not (0 <= position < self._total):
                 raise ExecutionError(
@@ -291,6 +334,8 @@ class OrderedDelivery:
                     f"{self._total} trajectories"
                 )
             if position < self._next or position in self._pending:
+                if reissue:
+                    continue
                 raise ExecutionError(
                     f"duplicate delivery for trajectory position {position}"
                 )
@@ -307,36 +352,138 @@ class OrderedDelivery:
         return self._total - self._next
 
 
+@dataclass
+class PoolJob:
+    """One retryable unit of pool work.
+
+    ``payload_for(attempt)`` builds the picklable payload for a given
+    attempt number — payloads carry ``(unit, attempt, plan)`` into the
+    worker so in-worker fault injection keys off the exact attempt being
+    run.  ``tag`` turns the worker's return value into
+    ``(position, TrajectoryResult)`` pairs (running in the parent, so it
+    may close over parent-side state).  ``meta`` is executor-private
+    context — the sharded strategy stashes ``(device, groups)`` here for
+    the rebin ladder.
+    """
+
+    unit: str
+    payload_for: Callable[[int], Any]
+    tag: Callable[[Any], Sequence[Tuple[int, TrajectoryResult]]]
+    meta: Any = None
+
+
 def stream_pool(
-    payloads: Sequence[Any],
+    jobs: Sequence[PoolJob],
     worker: Callable[[Any], Any],
     delivery: OrderedDelivery,
     max_workers: int,
-    tag_results: Callable[[int, Any], Sequence[Tuple[int, TrajectoryResult]]],
+    *,
+    ctx: FaultContext,
+    recovery: List[RecoveryEvent],
+    on_crash: Optional[Callable[[PoolJob, BaseException], Optional[List[PoolJob]]]] = None,
 ) -> Iterator[List[TrajectoryResult]]:
-    """Fan ``payloads`` over a process pool; yield ordered ready chunks.
+    """Fan ``jobs`` over a process pool; yield ordered ready chunks.
 
     The shared pool-streaming loop of the ``"parallel"`` and ``"sharded"``
-    strategies: each completed future's result is turned into
-    ``(position, TrajectoryResult)`` pairs by ``tag_results(payload_index,
-    result)``, fed through ``delivery``, and any newly-contiguous prefix
-    is yielded immediately.  Abandoning the enclosing generator
-    (``GeneratorExit`` propagating through ``yield``) cancels unstarted
-    payloads and shuts the pool down; running ones finish and are
-    discarded.
+    strategies, now the pool half of the fault-tolerance layer:
+
+    * a retryable failure (``ctx.policy``) resubmits the job with
+      ``attempt + 1`` after the deterministic backoff — seed threading
+      makes the re-run bitwise identical, and reissue-aware delivery
+      accounting absorbs any duplicate positions;
+    * a crash-class failure (injected ``WorkerCrashError`` or a real
+      ``BrokenProcessPool``) first consults ``on_crash`` — the sharded
+      strategy's rebin hook, returning replacement jobs for the dead
+      device's groups — before falling back to plain retry.  A broken
+      pool is torn down and recreated; jobs that were merely in flight
+      on it are resubmitted at their *current* attempt (they did not
+      fail, their substrate did);
+    * ``CancelledError`` escaping a future is translated into
+      :class:`~repro.errors.ExecutionError` naming the unit (the raw
+      stdlib exception carries no repro context);
+    * an exhausted retry budget raises
+      :class:`~repro.errors.FaultError` naming the unit and attempts,
+      with the last cause chained.
+
+    Abandoning the enclosing generator (``GeneratorExit`` propagating
+    through ``yield``) cancels unstarted jobs and shuts the pool down;
+    running ones finish and are discarded.
     """
     pool = ProcessPoolExecutor(max_workers=max_workers)
+    futures: Dict[Any, Tuple[PoolJob, int]] = {}
+    retry_classes = (BrokenProcessPool, CancelledError) + ctx.policy.retryable
+
+    def handle_failure(
+        job: PoolJob, attempt: int, exc: BaseException
+    ) -> List[Tuple[PoolJob, int]]:
+        """Decide a failed job's fate: rebin, retry, or escalate."""
+        if isinstance(exc, CapacityError):
+            # The worker's own halving ladder already bottomed out;
+            # repeating the identical allocation cannot help.
+            raise
+        if isinstance(exc, CancelledError):
+            raise ExecutionError(
+                f"work unit {job.unit!r} was cancelled before completing; "
+                "the run cannot be finalized"
+            ) from exc
+        if isinstance(exc, CRASH_EXCEPTIONS) and on_crash is not None:
+            replacements = on_crash(job, exc)
+            if replacements is not None:
+                return [(replacement, 0) for replacement in replacements]
+        if not ctx.policy.is_retryable(exc):
+            raise
+        next_attempt = attempt + 1
+        if next_attempt >= ctx.policy.max_attempts:
+            raise FaultError(
+                f"work unit {job.unit!r} failed after {next_attempt} "
+                f"attempt(s): {describe_exception(exc)}",
+                unit=job.unit,
+                attempts=next_attempt,
+            ) from exc
+        recovery.append(
+            RecoveryEvent(
+                kind="retry",
+                strategy=ctx.strategy,
+                unit=job.unit,
+                attempt=next_attempt,
+                error=describe_exception(exc),
+            )
+        )
+        ctx.sleep_backoff(job.unit, next_attempt)
+        return [(job, next_attempt)]
+
     try:
-        futures = {
-            pool.submit(worker, payload): index
-            for index, payload in enumerate(payloads)
-        }
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        to_submit: List[Tuple[PoolJob, int]] = [(job, 0) for job in jobs]
+        while to_submit or futures:
+            for job, attempt in to_submit:
+                futures[pool.submit(worker, job.payload_for(attempt))] = (
+                    job,
+                    attempt,
+                )
+            to_submit = []
+            done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+            broken = False
             for future in done:
-                ready = delivery.add(tag_results(futures[future], future.result()))
+                job, attempt = futures.pop(future)
+                try:
+                    result = future.result()
+                except retry_classes as exc:
+                    if isinstance(exc, BrokenProcessPool):
+                        broken = True
+                    to_submit.extend(handle_failure(job, attempt, exc))
+                    continue
+                ready = delivery.add(job.tag(result), reissue=attempt > 0)
                 if ready:
                     yield ready
+            if broken:
+                # The pool substrate died: every in-flight future is (or
+                # will be) poisoned with BrokenProcessPool.  Recreate the
+                # pool and resubmit survivors at their current attempt —
+                # their work never failed, only its substrate.
+                survivors = list(futures.values())
+                futures.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+                to_submit.extend(survivors)
     finally:
         pool.shutdown(wait=True, cancel_futures=True)

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import time
 import weakref
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -60,12 +61,18 @@ from repro.backends.mps_sampler import (
 from repro.circuits.circuit import Circuit
 from repro.circuits.operations import GateOp, MeasureOp, NoiseOp
 from repro.config import Config, DEFAULT_CONFIG
-from repro.errors import BackendError, ExecutionError
+from repro.errors import BackendError, CapacityError, ExecutionError, FaultError
 from repro.execution.batched import BackendSpec
 from repro.execution.results import PTSBEResult, TrajectoryResult
 from repro.execution.streaming import OrderedDelivery, StreamedResult
+from repro.faults.retry import (
+    FaultContext,
+    RecoveryEvent,
+    describe_exception,
+    run_unit_with_retry,
+)
 from repro.linalg.kron import permute_operator_qubits
-from repro.pts.base import SpecGroup, TrajectorySpec, deduplicate_specs
+from repro.pts.base import TrajectorySpec, deduplicate_specs
 from repro.rng import StreamFactory
 
 __all__ = ["TensorNetExecutor", "compile_schedule", "GateSchedule"]
@@ -347,11 +354,6 @@ def replay_schedule(
                 stack.apply_adjacent_rows(mats, step.site)
 
 
-def _chunks(groups: Sequence[SpecGroup], size: int):
-    for start in range(0, len(groups), size):
-        yield groups[start : start + size]
-
-
 class TensorNetExecutor:
     """Execute trajectory specs on a trajectory-stacked truncated MPS.
 
@@ -468,63 +470,119 @@ class TensorNetExecutor:
         compile_seconds = time.perf_counter() - t0
         groups = deduplicate_specs(specs)
         cols = list(measured)
+        ctx = FaultContext.from_config(self._config, streams.seed, strategy="tensornet")
+        events: List[RecoveryEvent] = []
+
+        def run_chunk(start: int, end: int, carry_prep: float):
+            """Replay and sample one stacked chunk of groups ``[start, end)``.
+
+            One retryable unit: the replay is a pure function of the
+            schedule and the chunk's Kraus choices, and sampling
+            re-derives each row's Philox stream from
+            ``(seed, trajectory_id)``, so a retried chunk re-emits
+            bitwise-identical shots.  (Unlike the dense strategies the
+            chunk *composition* matters — the batched truncated SVD keeps
+            a common rank across the chunk — which is why plain retry
+            preserves bits but the capacity ladder's halving is only
+            guaranteed to preserve the sampled distribution.)
+            """
+            chunk = groups[start:end]
+            batch = len(chunk)
+            t1 = time.perf_counter()
+            stack = BatchedMPSStack(
+                n,
+                batch,
+                max_bond=self.max_bond,
+                cutoff=self.cutoff,
+                config=self._config,
+            )
+            choices_list = [specs[g.indices[0]].choices for g in chunk]
+            replay_schedule(stack, schedule, choices_list)
+            # One batched environment pass = sampling cache AND, via
+            # the telescoping-weight identity, per-row weights.
+            envs = compute_right_environments_batched(stack.tensors)
+            weights = envs[0][:, 0, 0].real
+            prep_seconds = carry_prep + (time.perf_counter() - t1)
+            prep_each = prep_seconds / batch
+            completed = []
+            for row, group in enumerate(chunk):
+                weight = float(max(weights[row], 0.0))
+                dead = weight <= _DEAD_NORM
+                row_tensors = stack.row_tensors(row)
+                row_envs = [e[row] for e in envs]
+                for j, spec_index in enumerate(group.indices):
+                    spec = specs[spec_index]
+                    rng = streams.rng_for(spec.record.trajectory_id)
+                    t2 = time.perf_counter()
+                    if dead or spec.num_shots == 0:
+                        bits = np.empty((0, len(measured)), dtype=np.uint8)
+                        actual_weight, sample_seconds = 0.0, 0.0
+                    else:
+                        full = sample_cached(
+                            row_tensors, row_envs, spec.num_shots, rng
+                        )
+                        bits = full[:, cols]
+                        actual_weight = weight
+                        sample_seconds = time.perf_counter() - t2
+                    completed.append(
+                        (
+                            spec_index,
+                            TrajectoryResult(
+                                record=spec.record,
+                                bits=bits,
+                                actual_weight=actual_weight,
+                                prep_seconds=prep_each if j == 0 else 0.0,
+                                sample_seconds=sample_seconds,
+                            ),
+                        )
+                    )
+            return completed
 
         def deliver():
             delivery = OrderedDelivery(len(specs))
+            pending = deque(
+                (start, min(start + self.max_batch, len(groups)))
+                for start in range(0, len(groups), self.max_batch)
+            )
             # The one-time schedule compile is real preparation work;
             # attribute it to the first chunk, same as the clifford path.
             carry_prep = compile_seconds
-            for chunk in _chunks(groups, self.max_batch):
-                batch = len(chunk)
-                t1 = time.perf_counter()
-                stack = BatchedMPSStack(
-                    n,
-                    batch,
-                    max_bond=self.max_bond,
-                    cutoff=self.cutoff,
-                    config=self._config,
-                )
-                choices_list = [specs[g.indices[0]].choices for g in chunk]
-                replay_schedule(stack, schedule, choices_list)
-                # One batched environment pass = sampling cache AND, via
-                # the telescoping-weight identity, per-row weights.
-                envs = compute_right_environments_batched(stack.tensors)
-                weights = envs[0][:, 0, 0].real
-                prep_seconds = carry_prep + (time.perf_counter() - t1)
-                carry_prep = 0.0
-                prep_each = prep_seconds / batch
-                completed = []
-                for row, group in enumerate(chunk):
-                    weight = float(max(weights[row], 0.0))
-                    dead = weight <= _DEAD_NORM
-                    row_tensors = stack.row_tensors(row)
-                    row_envs = [e[row] for e in envs]
-                    for j, spec_index in enumerate(group.indices):
-                        spec = specs[spec_index]
-                        rng = streams.rng_for(spec.record.trajectory_id)
-                        t2 = time.perf_counter()
-                        if dead or spec.num_shots == 0:
-                            bits = np.empty((0, len(measured)), dtype=np.uint8)
-                            actual_weight, sample_seconds = 0.0, 0.0
-                        else:
-                            full = sample_cached(
-                                row_tensors, row_envs, spec.num_shots, rng
-                            )
-                            bits = full[:, cols]
-                            actual_weight = weight
-                            sample_seconds = time.perf_counter() - t2
-                        completed.append(
-                            (
-                                spec_index,
-                                TrajectoryResult(
-                                    record=spec.record,
-                                    bits=bits,
-                                    actual_weight=actual_weight,
-                                    prep_seconds=prep_each if j == 0 else 0.0,
-                                    sample_seconds=sample_seconds,
+            while pending:
+                start, end = pending.popleft()
+                unit = f"tensornet/stack:{start}:{end}"
+                try:
+                    completed = run_unit_with_retry(
+                        lambda attempt: run_chunk(start, end, carry_prep),
+                        unit=unit,
+                        ctx=ctx,
+                        recovery=events,
+                    )
+                except CapacityError as exc:
+                    if end - start > 1:
+                        mid = (start + end) // 2
+                        events.append(
+                            RecoveryEvent(
+                                kind="batch-halved",
+                                strategy=ctx.strategy,
+                                unit=unit,
+                                attempt=0,
+                                error=describe_exception(exc),
+                                detail=(
+                                    f"split into stack:{start}:{mid} "
+                                    f"and stack:{mid}:{end}"
                                 ),
                             )
                         )
+                        pending.appendleft((mid, end))
+                        pending.appendleft((start, mid))
+                        continue
+                    raise FaultError(
+                        f"stacked replay of {unit!r} failed at the "
+                        f"single-row floor: {describe_exception(exc)}",
+                        unit=unit,
+                        attempts=1,
+                    ) from exc
+                carry_prep = 0.0
                 ready = delivery.add(completed)
                 if ready:
                     yield ready
@@ -537,4 +595,5 @@ class TensorNetExecutor:
             unique_preparations=len(groups),
             engine="tensornet",
             retain=retain,
+            recovery=events,
         )

@@ -33,17 +33,24 @@ contract :mod:`repro.execution.parallel` upholds, verified in
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.backends.batched_statevector import BatchedStatevectorBackend
 from repro.circuits.circuit import Circuit
-from repro.errors import ExecutionError
+from repro.errors import CapacityError, ExecutionError, FaultError
 from repro.execution.batched import BackendSpec
 from repro.execution.plan import get_fused_plan
 from repro.execution.results import PTSBEResult, TrajectoryResult
 from repro.execution.streaming import OrderedDelivery, StreamedResult
+from repro.faults.retry import (
+    FaultContext,
+    RecoveryEvent,
+    describe_exception,
+    run_unit_with_retry,
+)
 from repro.pts.base import TrajectorySpec, deduplicate_specs
 from repro.rng import StreamFactory
 
@@ -150,48 +157,102 @@ class VectorizedExecutor:
             get_fused_plan(circuit, config)
         chunk_rows = min(self.max_batch, backend.max_batch_rows)
         groups = deduplicate_specs(specs)
+        ctx = FaultContext.from_config(config, streams.seed, strategy="vectorized")
+        events: List[RecoveryEvent] = []
+
+        def run_chunk(start: int, end: int):
+            """Prepare and sample one stack of groups ``[start, end)``.
+
+            The whole chunk is one retryable unit: re-running it replays
+            the identical ``run_fixed_stack`` call and re-derives every
+            row's Philox stream from ``(seed, trajectory_id)``, so a
+            retried chunk's shots are bitwise identical.
+            """
+            chunk = groups[start:end]
+            choices_list = [specs[g.indices[0]].choices for g in chunk]
+            t0 = time.perf_counter()
+            weights, alive = backend.run_fixed_stack(circuit, choices_list)
+            t1 = time.perf_counter()
+            # One stacked preparation served the whole chunk; attribute
+            # its wall-time evenly across the unique rows (duplicates
+            # ride free).
+            prep_each = (t1 - t0) / len(chunk)
+            completed = []
+            for row, group in enumerate(chunk):
+                for j, spec_index in enumerate(group.indices):
+                    spec = specs[spec_index]
+                    rng = streams.rng_for(spec.record.trajectory_id)
+                    if not alive[row]:
+                        # Same contract as the serial engine on a
+                        # ZeroProbabilityTrajectory: zero weight,
+                        # no shots.
+                        bits = np.empty((0, len(measured)), dtype=np.uint8)
+                        weight, sample_s = 0.0, 0.0
+                    else:
+                        t2 = time.perf_counter()
+                        bits = backend.sample(row, spec.num_shots, measured, rng)
+                        t3 = time.perf_counter()
+                        weight, sample_s = float(weights[row]), t3 - t2
+                    completed.append(
+                        (
+                            spec_index,
+                            TrajectoryResult(
+                                record=spec.record,
+                                bits=bits,
+                                actual_weight=weight,
+                                prep_seconds=prep_each if j == 0 else 0.0,
+                                sample_seconds=sample_s,
+                            ),
+                        )
+                    )
+            return completed
 
         def deliver():
             delivery = OrderedDelivery(len(specs))
+            # The degradation ladder works a queue of group ranges so a
+            # CapacityError can split a chunk in place; dense stacking is
+            # chunking-invariant (bitwise, by the row-wise contract), so
+            # halving never changes a single shot.
+            pending = deque(
+                (start, min(start + chunk_rows, len(groups)))
+                for start in range(0, len(groups), chunk_rows)
+            )
             try:
-                for start in range(0, len(groups), chunk_rows):
-                    chunk = groups[start : start + chunk_rows]
-                    choices_list = [specs[g.indices[0]].choices for g in chunk]
-                    t0 = time.perf_counter()
-                    weights, alive = backend.run_fixed_stack(circuit, choices_list)
-                    t1 = time.perf_counter()
-                    # One stacked preparation served the whole chunk;
-                    # attribute its wall-time evenly across the unique rows
-                    # (duplicates ride free).
-                    prep_each = (t1 - t0) / len(chunk)
-                    completed = []
-                    for row, group in enumerate(chunk):
-                        for j, spec_index in enumerate(group.indices):
-                            spec = specs[spec_index]
-                            rng = streams.rng_for(spec.record.trajectory_id)
-                            if not alive[row]:
-                                # Same contract as the serial engine on a
-                                # ZeroProbabilityTrajectory: zero weight,
-                                # no shots.
-                                bits = np.empty((0, len(measured)), dtype=np.uint8)
-                                weight, sample_s = 0.0, 0.0
-                            else:
-                                t2 = time.perf_counter()
-                                bits = backend.sample(row, spec.num_shots, measured, rng)
-                                t3 = time.perf_counter()
-                                weight, sample_s = float(weights[row]), t3 - t2
-                            completed.append(
-                                (
-                                    spec_index,
-                                    TrajectoryResult(
-                                        record=spec.record,
-                                        bits=bits,
-                                        actual_weight=weight,
-                                        prep_seconds=prep_each if j == 0 else 0.0,
-                                        sample_seconds=sample_s,
+                while pending:
+                    start, end = pending.popleft()
+                    unit = f"vectorized/stack:{start}:{end}"
+                    try:
+                        completed = run_unit_with_retry(
+                            lambda attempt: run_chunk(start, end),
+                            unit=unit,
+                            ctx=ctx,
+                            recovery=events,
+                        )
+                    except CapacityError as exc:
+                        if end - start > 1:
+                            mid = (start + end) // 2
+                            events.append(
+                                RecoveryEvent(
+                                    kind="batch-halved",
+                                    strategy=ctx.strategy,
+                                    unit=unit,
+                                    attempt=0,
+                                    error=describe_exception(exc),
+                                    detail=(
+                                        f"split into stack:{start}:{mid} "
+                                        f"and stack:{mid}:{end}"
                                     ),
                                 )
                             )
+                            pending.appendleft((mid, end))
+                            pending.appendleft((start, mid))
+                            continue
+                        raise FaultError(
+                            f"stacked preparation of {unit!r} failed at the "
+                            f"single-row floor: {describe_exception(exc)}",
+                            unit=unit,
+                            attempts=1,
+                        ) from exc
                     ready = delivery.add(completed)
                     if ready:
                         yield ready
@@ -212,4 +273,5 @@ class VectorizedExecutor:
             on_close=getattr(backend, "release", None),
             engine="vectorized",
             retain=retain,
+            recovery=events,
         )

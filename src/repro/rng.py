@@ -16,6 +16,7 @@ derivation:
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -25,8 +26,38 @@ __all__ = [
     "make_rng",
     "library_rng",
     "trajectory_rng",
+    "fault_rng",
     "StreamFactory",
 ]
+
+#: Reserved leading spawn-key element for the fault-tolerance machinery.
+#: Trajectory streams use single-element keys ``(trajectory_index,)``;
+#: fault/jitter draws use four-element keys starting with this constant,
+#: so the two stream families can never collide for any seed.
+FAULT_STREAM_KEY = 0xFA17
+
+#: Sub-namespaces under :data:`FAULT_STREAM_KEY`.
+FAULT_NS_INJECTION = 0
+FAULT_NS_JITTER = 1
+
+
+def fault_rng(
+    seed: Optional[int], namespace: int, site: str, attempt: int
+) -> np.random.Generator:
+    """Deterministic stream for fault-machinery draws at one site/attempt.
+
+    Keyed by ``(FAULT_STREAM_KEY, namespace, crc32(site), attempt)`` —
+    ``zlib.crc32`` rather than ``hash()`` so the derivation is stable
+    across processes regardless of ``PYTHONHASHSEED``.  Used for
+    random-mode fault injection decisions and for retry-backoff jitter;
+    both are therefore exactly replayable from the root seed, like every
+    other draw in the library.
+    """
+    site_key = zlib.crc32(site.encode("utf-8"))
+    seq = np.random.SeedSequence(
+        seed, spawn_key=(FAULT_STREAM_KEY, int(namespace), site_key, int(attempt))
+    )
+    return np.random.Generator(np.random.Philox(seq))
 
 
 def root_sequence(seed: Optional[int]) -> np.random.SeedSequence:

@@ -50,6 +50,7 @@ def coverage_matrix(result: SweepResult) -> List[Dict[str, Any]]:
                         "status": SKIP,
                         "detail": cell.skip_reason,
                         "shots_per_second": None,
+                        "recovery": 0,
                     }
                 )
             continue
@@ -71,6 +72,7 @@ def coverage_matrix(result: SweepResult) -> List[Dict[str, Any]]:
                     "status": combo_status,
                     "detail": "",
                     "shots_per_second": outcome.shots_per_second,
+                    "recovery": outcome.recovery,
                 }
             )
     return records
@@ -196,6 +198,14 @@ def summary_dict(result: SweepResult) -> Dict[str, Any]:
                 "resolved_seed": cell.resolved_seed,
                 "elapsed_seconds": cell.elapsed_seconds,
                 "budget_seconds": cell.spec.budget_seconds,
+                "strategies": [
+                    {
+                        "strategy": o.strategy,
+                        "recovery": o.recovery,
+                        "shots_per_second": o.shots_per_second,
+                    }
+                    for o in cell.outcomes
+                ],
                 "checks": [
                     {
                         "check": f.check,

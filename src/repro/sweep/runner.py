@@ -79,6 +79,11 @@ class StrategyOutcome:
     chunks: int
     equivalent: Optional[bool]  # None for the reference strategy itself
     stream_ok: Optional[bool]  # None when the streaming tier is disabled
+    #: Recovery actions (retries, rebins, batch halvings) the run took;
+    #: 0 for fault-free runs.  Under an injected REPRO_FAULTS plan a
+    #: passing cell with ``recovery > 0`` is the chaos-smoke evidence:
+    #: faults fired *and* the oracle still held.
+    recovery: int = 0
 
     @property
     def shots_per_second(self) -> float:
@@ -264,6 +269,7 @@ def _run_strategy(
         chunks=len(chunk_tables),
         equivalent=None,
         stream_ok=None,
+        recovery=len(result.recovery),
     )
     return table, chunk_tables, outcome, result.seed
 
@@ -337,6 +343,7 @@ def run_cell(
                 chunks=outcome.chunks,
                 equivalent=None,
                 stream_ok=stream_ok,
+                recovery=outcome.recovery,
             )
         )
 
@@ -368,6 +375,7 @@ def run_cell(
                 chunks=outcome.chunks,
                 equivalent=_tables_identical(reference, tables[outcome.strategy]),
                 stream_ok=outcome.stream_ok,
+                recovery=outcome.recovery,
             )
 
     findings.append(

@@ -1,0 +1,688 @@
+"""Chaos suite: deterministic fault injection, seed-exact retry, degradation.
+
+The central claim under test: a run that crashes, hiccups, and OOMs its
+way to completion produces the *bitwise identical* shot table of a
+fault-free run at the same seed, with every recovery action recorded as
+a structured :class:`~repro.faults.retry.RecoveryEvent`.  Seed threading
+(per-trajectory Philox streams keyed by ``(seed, trajectory_id)``) is
+what makes retry exactly-once-equivalent; these tests are the proof.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.channels import NoiseModel, depolarizing, two_qubit_depolarizing
+from repro.circuits import Circuit
+from repro.config import Config
+from repro.errors import (
+    BackendError,
+    CapacityError,
+    ExecutionError,
+    FaultError,
+    SamplingError,
+    WorkerCrashError,
+)
+from repro.execution import BackendSpec, run_ptsbe, run_ptsbe_stream
+from repro.execution.results import TrajectoryResult
+from repro.execution.streaming import OrderedDelivery, PoolJob, stream_pool
+from repro.faults import (
+    FaultContext,
+    FaultPlan,
+    FaultSpec,
+    RecoveryEvent,
+    RetryPolicy,
+    maybe_inject,
+    parse_fault_plan,
+    run_unit_with_retry,
+)
+from repro.pts import ProbabilisticPTS
+from repro.rng import make_rng
+from repro.trajectory.events import TrajectoryRecord
+
+SEED = 7
+
+#: Backoff-free policy so chaos runs finish in test time; determinism is
+#: unaffected (backoff only changes *pauses*, never results).
+FAST_RETRY = RetryPolicy(backoff_base=0.0, jitter=False)
+
+
+@pytest.fixture(scope="module")
+def ghz():
+    ideal = Circuit(3).h(0).cx(0, 1).cx(1, 2).measure_all()
+    noise = NoiseModel().add_all_qubit_gate_noise("cx", depolarizing(0.05))
+    return noise.apply(ideal).freeze()
+
+
+@pytest.fixture(scope="module")
+def brickwork():
+    circ = Circuit(4)
+    for layer in range(2):
+        for q in range(4):
+            circ.h(q)
+        for q in range(layer % 2, 3, 2):
+            circ.cx(q, q + 1)
+    circ.measure_all()
+    model = (
+        NoiseModel()
+        .add_all_qubit_gate_noise("cx", two_qubit_depolarizing(0.02))
+        .add_all_qubit_gate_noise("h", depolarizing(0.01))
+    )
+    return model.apply(circ).freeze()
+
+
+def _pts(nsamples=24, nshots=240):
+    return ProbabilisticPTS(nsamples=nsamples, nshots=nshots)
+
+
+def _run(circuit, strategy, plan=None, fusion="auto", seed=SEED, retry=FAST_RETRY):
+    """One run_ptsbe call with the plan threaded through Config."""
+    cfg = Config(fault_plan=plan, retry=retry, fusion=fusion)
+    if strategy == "parallel":
+        return run_ptsbe(
+            circuit,
+            _pts(),
+            seed=seed,
+            strategy="parallel",
+            backend=BackendSpec.statevector(config=cfg),
+            executor_kwargs={"num_workers": 2},
+        )
+    if strategy == "sharded":
+        return run_ptsbe(
+            circuit,
+            _pts(),
+            seed=seed,
+            strategy="sharded",
+            backend=BackendSpec.batched_statevector(config=cfg),
+            executor_kwargs={"devices": 2},
+        )
+    if strategy == "vectorized":
+        return run_ptsbe(
+            circuit,
+            _pts(),
+            seed=seed,
+            strategy="vectorized",
+            backend=BackendSpec.batched_statevector(config=cfg),
+            executor_kwargs={"max_batch": 4},
+        )
+    if strategy == "tensornet":
+        return run_ptsbe(
+            circuit,
+            _pts(),
+            seed=seed,
+            strategy="tensornet",
+            executor_kwargs={"config": cfg},
+        )
+    raise AssertionError(strategy)
+
+
+def _bits(result):
+    return result.shot_table().bits
+
+
+def _kinds(result):
+    return [event.kind for event in result.recovery]
+
+
+# --------------------------------------------------------------------- #
+# FaultPlan: matching, determinism, parsing
+# --------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_rule_matches_glob_and_times(self):
+        spec = FaultSpec("transient-backend", "parallel/slice:*", times=2)
+        assert spec.matches("parallel/slice:3", 0)
+        assert spec.matches("parallel/slice:3", 1)
+        assert not spec.matches("parallel/slice:3", 2)
+        assert not spec.matches("sharded/shard:0", 0)
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(
+            rules=(
+                FaultSpec("worker-crash", "parallel/slice:1"),
+                FaultSpec("transient-backend", "parallel/slice:*"),
+            )
+        )
+        assert plan.fault_at("parallel/slice:1", 0, seed=1) == "worker-crash"
+        assert plan.fault_at("parallel/slice:0", 0, seed=1) == "transient-backend"
+        assert plan.fault_at("vectorized/stack:0:4", 0, seed=1) is None
+
+    def test_random_mode_is_seed_deterministic(self):
+        plan = FaultPlan(rate=0.5, kinds=("transient-backend", "capacity"))
+        sites = [f"parallel/slice:{k}" for k in range(32)]
+        first = [plan.fault_at(site, 0, seed=11) for site in sites]
+        second = [plan.fault_at(site, 0, seed=11) for site in sites]
+        assert first == second
+        assert any(kind is not None for kind in first)
+        assert any(kind is None for kind in first)
+        other = [plan.fault_at(site, 0, seed=12) for site in sites]
+        assert other != first  # a different seed draws a different pattern
+
+    def test_random_mode_only_hits_attempt_zero(self):
+        plan = FaultPlan(rate=1.0)
+        assert plan.fault_at("parallel/slice:0", 0, seed=3) is not None
+        assert plan.fault_at("parallel/slice:0", 1, seed=3) is None
+
+    def test_maybe_inject_exception_classes(self):
+        for kind, exc_type in [
+            ("worker-crash", WorkerCrashError),
+            ("transient-backend", BackendError),
+            ("capacity", CapacityError),
+        ]:
+            plan = FaultPlan(rules=(FaultSpec(kind, "unit"),))
+            with pytest.raises(exc_type, match="injected"):
+                maybe_inject(plan, "unit", 0, seed=0)
+
+    def test_slow_worker_stalls_then_succeeds(self):
+        plan = FaultPlan(
+            rules=(FaultSpec("slow-worker", "unit"),), slow_seconds=0.01
+        )
+        t0 = time.perf_counter()
+        maybe_inject(plan, "unit", 0, seed=0)  # must not raise
+        assert time.perf_counter() - t0 >= 0.01
+
+    def test_disabled_plan_is_inert(self):
+        maybe_inject(None, "anything", 0, seed=0)  # no-op, no raise
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError, match="unknown fault kind"):
+            FaultSpec("melted", "unit")
+        with pytest.raises(ExecutionError, match="times"):
+            FaultSpec("capacity", "unit", times=0)
+        with pytest.raises(ExecutionError, match="rate"):
+            FaultPlan(rate=1.5)
+        with pytest.raises(ExecutionError, match="unknown fault kind"):
+            FaultPlan(kinds=("bogus",))
+
+    def test_parse_round_trip(self):
+        plan = parse_fault_plan(
+            "worker-crash@parallel/slice:1; transient-backend@sharded/*#2"
+        )
+        assert plan.rules == (
+            FaultSpec("worker-crash", "parallel/slice:1"),
+            FaultSpec("transient-backend", "sharded/*", times=2),
+        )
+        assert plan.rate == 0.0
+
+    def test_parse_random_mode(self):
+        plan = parse_fault_plan("random:0.25:transient-backend,slow-worker")
+        assert plan.rate == 0.25
+        assert plan.kinds == ("transient-backend", "slow-worker")
+
+    def test_parse_empty_disables(self):
+        assert parse_fault_plan("") is None
+        assert parse_fault_plan("   ") is None
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "worker-crash",  # no @SITE
+            "melted@unit",  # unknown kind
+            "capacity@unit#zero",  # non-integer times
+            "random:lots",  # non-float rate
+            "random:0.5:bogus",  # unknown kind in pool
+            "random:2.0",  # out-of-range rate
+        ],
+    )
+    def test_parse_malformed_raises(self, text):
+        with pytest.raises(ExecutionError):
+            parse_fault_plan(text)
+
+    def test_plan_is_picklable(self):
+        import pickle
+
+        plan = FaultPlan(rules=(FaultSpec("capacity", "vectorized/stack:*"),))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_env_var_threads_into_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "transient-backend@parallel/slice:0")
+        cfg = Config()
+        assert cfg.fault_plan == FaultPlan(
+            rules=(FaultSpec("transient-backend", "parallel/slice:0"),)
+        )
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        assert Config().fault_plan is None
+
+    def test_env_var_malformed_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "not-a-directive")
+        with pytest.raises(ExecutionError, match="REPRO_FAULTS"):
+            Config()
+
+
+# --------------------------------------------------------------------- #
+# RetryPolicy and the unit driver
+# --------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(BackendError("hiccup"))
+        assert policy.is_retryable(WorkerCrashError("died"))
+        # CapacityError subclasses BackendError but repeating the same
+        # allocation fails the same way -> structurally excluded.
+        assert not policy.is_retryable(CapacityError("oom"))
+        assert not policy.is_retryable(ValueError("not ours"))
+        assert not policy.is_retryable(SamplingError("typed but not transient"))
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(backoff_base=0.01, backoff_max=0.05, jitter=True)
+        a = policy.backoff_seconds(3, "unit", 1)
+        assert a == policy.backoff_seconds(3, "unit", 1)
+        assert policy.backoff_seconds(4, "unit", 1) != a  # keyed off seed
+        assert policy.backoff_seconds(3, "other", 1) != a  # ... and unit
+        for attempt in range(1, 10):
+            delay = policy.backoff_seconds(3, "unit", attempt)
+            assert 0.0 < delay <= 0.05 * 1.5
+
+    def test_backoff_without_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_base=0.01, backoff_max=1.0, jitter=False)
+        assert policy.backoff_seconds(0, "u", 1) == 0.01
+        assert policy.backoff_seconds(0, "u", 2) == 0.02
+        assert policy.backoff_seconds(0, "u", 3) == 0.04
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ExecutionError, match="backoff"):
+            RetryPolicy(backoff_base=-1.0)
+
+    def test_run_unit_recovers_and_records(self):
+        ctx = FaultContext(plan=None, policy=FAST_RETRY, seed=0, strategy="test")
+        events, calls = [], []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise BackendError("hiccup")
+            return "done"
+
+        assert run_unit_with_retry(flaky, unit="u", ctx=ctx, recovery=events) == "done"
+        assert calls == [0, 1, 2]
+        assert [(e.kind, e.attempt) for e in events] == [("retry", 1), ("retry", 2)]
+        assert all(e.unit == "u" and e.strategy == "test" for e in events)
+
+    def test_run_unit_exhaustion_raises_fault_error(self):
+        ctx = FaultContext(
+            plan=None,
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            seed=0,
+            strategy="test",
+        )
+        events = []
+
+        def doomed(attempt):
+            raise BackendError("permanent")
+
+        with pytest.raises(FaultError, match="failed after 2 attempt") as info:
+            run_unit_with_retry(doomed, unit="u", ctx=ctx, recovery=events)
+        assert info.value.unit == "u"
+        assert info.value.attempts == 2
+        assert isinstance(info.value.__cause__, BackendError)
+        assert len(events) == 1  # one retry happened before exhaustion
+
+    def test_capacity_error_passes_straight_through(self):
+        ctx = FaultContext(plan=None, policy=FAST_RETRY, seed=0)
+        events = []
+
+        def oom(attempt):
+            raise CapacityError("stack too wide")
+
+        with pytest.raises(CapacityError):
+            run_unit_with_retry(oom, unit="u", ctx=ctx, recovery=events)
+        assert events == []  # escalation, not recovery
+
+    def test_non_retryable_propagates_unchanged(self):
+        ctx = FaultContext(plan=None, policy=FAST_RETRY, seed=0)
+
+        def broken(attempt):
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            run_unit_with_retry(broken, unit="u", ctx=ctx, recovery=[])
+
+
+class TestOrderedDeliveryReissue:
+    def _trajectory(self, tid):
+        record = TrajectoryRecord(
+            trajectory_id=tid, events=(), nominal_probability=1.0
+        )
+        return TrajectoryResult(record=record, bits=np.zeros((1, 1), dtype=np.uint8))
+
+    def test_reissue_drops_duplicates_silently(self):
+        delivery = OrderedDelivery(3)
+        delivery.add([(0, self._trajectory(0)), (1, self._trajectory(1))])
+        again = delivery.add(
+            [(1, self._trajectory(1)), (2, self._trajectory(2))], reissue=True
+        )
+        assert [t.record.trajectory_id for t in again] == [2]
+
+    def test_plain_duplicate_still_raises(self):
+        delivery = OrderedDelivery(2)
+        delivery.add([(0, self._trajectory(0))])
+        with pytest.raises(ExecutionError, match="duplicate"):
+            delivery.add([(0, self._trajectory(0))])
+
+
+# --------------------------------------------------------------------- #
+# Bitwise recovery across strategies
+# --------------------------------------------------------------------- #
+class TestBitwiseRecovery:
+    """Faulty runs must reproduce fault-free shot tables exactly."""
+
+    @pytest.mark.parametrize("fusion", ["auto", "off"])
+    def test_parallel_crash_and_transient(self, ghz, fusion):
+        plan = FaultPlan(
+            rules=(
+                FaultSpec("worker-crash", "parallel/slice:1"),
+                FaultSpec("transient-backend", "parallel/slice:0"),
+            )
+        )
+        clean = _run(ghz, "parallel", fusion=fusion)
+        faulty = _run(ghz, "parallel", plan=plan, fusion=fusion)
+        assert sorted(_kinds(faulty)) == ["retry", "retry"]
+        assert {e.unit for e in faulty.recovery} == {
+            "parallel/slice:0",
+            "parallel/slice:1",
+        }
+        assert np.array_equal(_bits(clean), _bits(faulty))
+
+    @pytest.mark.parametrize("fusion", ["auto", "off"])
+    def test_vectorized_transient_retry(self, brickwork, fusion):
+        plan = FaultPlan(rules=(FaultSpec("transient-backend", "vectorized/stack:0:*"),))
+        clean = _run(brickwork, "vectorized", fusion=fusion)
+        faulty = _run(brickwork, "vectorized", plan=plan, fusion=fusion)
+        assert _kinds(faulty) == ["retry"]
+        assert np.array_equal(_bits(clean), _bits(faulty))
+
+    def test_vectorized_capacity_halving_is_bitwise(self, brickwork):
+        # An exact-site rule fires once on the full first chunk; the two
+        # halves have different unit names, so the ladder recovers.
+        # Dense stacking is chunking-invariant, so halving is bitwise.
+        clean = _run(brickwork, "vectorized")
+        probe = _run(
+            brickwork,
+            "vectorized",
+            plan=FaultPlan(rules=(FaultSpec("transient-backend", "vectorized/stack:*"),)),
+        )
+        first_chunk = probe.recovery[0].unit
+        plan = FaultPlan(rules=(FaultSpec("capacity", first_chunk),))
+        faulty = _run(brickwork, "vectorized", plan=plan)
+        assert _kinds(faulty) == ["batch-halved"]
+        assert faulty.recovery[0].unit == first_chunk
+        assert "split into" in faulty.recovery[0].detail
+        assert np.array_equal(_bits(clean), _bits(faulty))
+
+    def test_sharded_crash_rebins_bitwise(self, ghz):
+        plan = FaultPlan(
+            rules=(
+                FaultSpec("worker-crash", "sharded/shard:0"),
+                FaultSpec("transient-backend", "sharded/shard:1"),
+            )
+        )
+        clean = _run(ghz, "sharded")
+        faulty = _run(ghz, "sharded", plan=plan)
+        assert sorted(_kinds(faulty)) == ["rebin", "retry"]
+        rebin = next(e for e in faulty.recovery if e.kind == "rebin")
+        assert rebin.unit == "sharded/shard:0"
+        assert "surviving device" in rebin.detail
+        assert np.array_equal(_bits(clean), _bits(faulty))
+
+    def test_sharded_inner_capacity_halving_bitwise(self, ghz):
+        # Discover the inner stacked-chunk unit, then OOM exactly it: the
+        # fault fires inside the shard worker subprocess and the halving
+        # happens there too, proving plans travel into workers.
+        probe_plan = FaultPlan(
+            rules=(FaultSpec("transient-backend", "vectorized/stack:*"),)
+        )
+        probe = _run(ghz, "sharded", plan=probe_plan)
+        inner = probe.recovery[0].unit.split("/", 2)[-1]  # vectorized/stack:a:b
+        clean = _run(ghz, "sharded")
+        faulty = _run(
+            ghz, "sharded", plan=FaultPlan(rules=(FaultSpec("capacity", inner),))
+        )
+        halved = [e for e in faulty.recovery if e.kind == "batch-halved"]
+        assert halved and all("split into" in e.detail for e in halved)
+        assert all(e.unit.startswith("sharded/shard:") for e in halved)
+        assert np.array_equal(_bits(clean), _bits(faulty))
+
+    @pytest.mark.parametrize("kind", ["transient-backend", "worker-crash"])
+    def test_tensornet_retry_is_bitwise(self, ghz, kind):
+        plan = FaultPlan(rules=(FaultSpec(kind, "tensornet/stack:*"),))
+        clean = _run(ghz, "tensornet")
+        faulty = _run(ghz, "tensornet", plan=plan)
+        assert "retry" in _kinds(faulty)
+        assert np.array_equal(_bits(clean), _bits(faulty))
+
+    @pytest.mark.parametrize("strategy", ["parallel", "sharded", "tensornet"])
+    def test_acceptance_plan_recovers_bitwise(self, ghz, strategy):
+        """The issue's acceptance plan: >=1 crash, >=1 transient, >=1
+        stacked-prep capacity fault in one plan, completing on every
+        pooled/stacked strategy with fault-free-identical tables."""
+        plan = FaultPlan(
+            rules=(
+                FaultSpec("worker-crash", "parallel/slice:1"),
+                FaultSpec("worker-crash", "sharded/shard:0"),
+                FaultSpec("worker-crash", "tensornet/stack:*"),
+                FaultSpec("transient-backend", "parallel/slice:0"),
+                FaultSpec("transient-backend", "sharded/shard:1"),
+                FaultSpec("capacity", "vectorized/stack:0:3"),
+            )
+        )
+        clean = _run(ghz, strategy)
+        faulty = _run(ghz, strategy, plan=plan)
+        assert faulty.recovery, f"{strategy} recorded no recovery events"
+        assert np.array_equal(_bits(clean), _bits(faulty))
+
+    def test_random_chaos_recovers_bitwise(self, ghz):
+        # Random mode only ever hits attempt 0, so the default budget
+        # always recovers; the same seed reproduces the same fault set.
+        plan = FaultPlan(rate=0.8)
+        clean = _run(ghz, "parallel")
+        faulty = _run(ghz, "parallel", plan=plan)
+        again = _run(ghz, "parallel", plan=plan)
+        assert _kinds(faulty)  # 4 slices at rate 0.8: some fault fired
+        # Pool workers append events in completion order, which thread
+        # scheduling may permute — the deterministic contract is the
+        # fault *set* (and the bits), not the diagnostic ordering.
+        assert sorted((e.unit, e.kind, e.attempt) for e in faulty.recovery) == sorted(
+            (e.unit, e.kind, e.attempt) for e in again.recovery
+        )
+        assert np.array_equal(_bits(clean), _bits(faulty))
+
+    def test_disabled_faults_record_nothing(self, ghz):
+        result = _run(ghz, "vectorized")
+        assert result.recovery == []
+
+    def test_stream_and_result_share_recovery(self, ghz):
+        cfg = Config(
+            fault_plan=FaultPlan(
+                rules=(FaultSpec("transient-backend", "parallel/slice:*"),)
+            ),
+            retry=FAST_RETRY,
+        )
+        stream = run_ptsbe_stream(
+            ghz,
+            _pts(),
+            seed=SEED,
+            strategy="parallel",
+            backend=BackendSpec.statevector(config=cfg),
+            executor_kwargs={"num_workers": 2},
+        )
+        result = stream.finalize()
+        assert result.recovery == stream.recovery
+        assert all(isinstance(e, RecoveryEvent) for e in result.recovery)
+        assert len(result.recovery) == 2  # one retry per worker slice
+
+
+# --------------------------------------------------------------------- #
+# Degradation ladders: escalation when recovery cannot help
+# --------------------------------------------------------------------- #
+class TestDegradation:
+    def test_vectorized_capacity_glob_hits_the_floor(self, brickwork):
+        # A glob matching every descendant chunk keeps firing as the
+        # ladder halves; at the single-row floor it must escalate.
+        plan = FaultPlan(rules=(FaultSpec("capacity", "vectorized/stack:*"),))
+        with pytest.raises(FaultError, match="single-row floor") as info:
+            _run(brickwork, "vectorized", plan=plan)
+        assert info.value.unit.startswith("vectorized/stack:")
+
+    def test_retry_budget_exhaustion(self, ghz):
+        plan = FaultPlan(
+            rules=(FaultSpec("transient-backend", "parallel/slice:0", times=99),)
+        )
+        with pytest.raises(FaultError, match="parallel/slice:0") as info:
+            _run(
+                ghz,
+                "parallel",
+                plan=plan,
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            )
+        assert info.value.attempts == 2
+
+    def test_sharded_all_devices_dead(self, ghz):
+        # The glob also matches rebinned units, so devices die one after
+        # another until no survivor remains.
+        plan = FaultPlan(rules=(FaultSpec("worker-crash", "sharded/shard:*", times=99),))
+        with pytest.raises(FaultError, match="no devices survive"):
+            _run(ghz, "sharded", plan=plan)
+
+    def test_tensornet_capacity_halving_is_structural(self, ghz):
+        # Tensor-network stacking is *not* chunking-invariant (the batched
+        # truncated SVD keeps a common rank per chunk), so the capacity
+        # ladder promises distribution preservation, not bitwise identity:
+        # assert structure, not bits.
+        probe = _run(
+            ghz,
+            "tensornet",
+            plan=FaultPlan(rules=(FaultSpec("transient-backend", "tensornet/stack:*"),)),
+        )
+        full_chunk = probe.recovery[0].unit
+        clean = _run(ghz, "tensornet")
+        faulty = _run(
+            ghz, "tensornet", plan=FaultPlan(rules=(FaultSpec("capacity", full_chunk),))
+        )
+        assert "batch-halved" in _kinds(faulty)
+        assert faulty.total_shots == clean.total_shots
+        assert [t.record.trajectory_id for t in faulty.trajectories] == [
+            t.record.trajectory_id for t in clean.trajectories
+        ]
+
+    def test_fault_error_is_execution_error(self):
+        assert issubclass(FaultError, ExecutionError)
+        assert issubclass(WorkerCrashError, ExecutionError)
+
+
+# --------------------------------------------------------------------- #
+# Pool substrate failures (real crashes, not injected exceptions)
+# --------------------------------------------------------------------- #
+def _make_trajectory(tid):
+    record = TrajectoryRecord(trajectory_id=tid, events=(), nominal_probability=1.0)
+    return TrajectoryResult(record=record, bits=np.zeros((2, 1), dtype=np.uint8))
+
+
+def _crashy_pool_worker(payload):
+    position, attempt = payload
+    if position == 1 and attempt == 0:
+        os._exit(13)  # hard death: the pool itself breaks
+    return [(position, _make_trajectory(position))]
+
+
+def _cancelling_pool_worker(payload):
+    from concurrent.futures import CancelledError
+
+    raise CancelledError()
+
+
+class TestPoolSubstrate:
+    def _jobs(self, n):
+        return [
+            PoolJob(
+                unit=f"test/unit:{k}",
+                payload_for=lambda attempt, k=k: (k, attempt),
+                tag=lambda result: result,
+            )
+            for k in range(n)
+        ]
+
+    def test_broken_pool_recreated_and_survivors_resubmitted(self):
+        ctx = FaultContext(plan=None, policy=FAST_RETRY, seed=0, strategy="test")
+        events = []
+        delivery = OrderedDelivery(3)
+        delivered = []
+        for ready in stream_pool(
+            self._jobs(3),
+            _crashy_pool_worker,
+            delivery,
+            max_workers=2,
+            ctx=ctx,
+            recovery=events,
+        ):
+            delivered.extend(ready)
+        assert [t.record.trajectory_id for t in delivered] == [0, 1, 2]
+        assert any("BrokenProcessPool" in e.error for e in events)
+        assert multiprocessing.active_children() == []
+
+    def test_cancelled_error_translated_with_unit_context(self):
+        ctx = FaultContext(plan=None, policy=FAST_RETRY, seed=0, strategy="test")
+        delivery = OrderedDelivery(1)
+        with pytest.raises(ExecutionError, match="test/unit:0.*cancelled"):
+            for _ in stream_pool(
+                self._jobs(1),
+                _cancelling_pool_worker,
+                delivery,
+                max_workers=1,
+                ctx=ctx,
+                recovery=[],
+            ):
+                pass
+
+
+# --------------------------------------------------------------------- #
+# Mid-stream abandonment under faults
+# --------------------------------------------------------------------- #
+class TestMidStreamClose:
+    def test_close_during_in_flight_retries(self, ghz):
+        # Every slice faults on its first attempt; close after the first
+        # chunk lands while other slices are mid-retry.  Nothing may leak.
+        cfg = Config(
+            fault_plan=FaultPlan(
+                rules=(FaultSpec("transient-backend", "parallel/slice:*"),),
+            ),
+            retry=RetryPolicy(backoff_base=0.05, backoff_max=0.05, jitter=False),
+        )
+        stream = run_ptsbe_stream(
+            ghz,
+            _pts(),
+            seed=SEED,
+            strategy="parallel",
+            backend=BackendSpec.statevector(config=cfg),
+            executor_kwargs={"num_workers": 2},
+        )
+        next(stream)
+        stream.close()
+        stream.close()  # idempotent under fault recovery too
+        assert stream.closed
+        deadline = time.time() + 10
+        while multiprocessing.active_children() and time.time() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+    def test_finalize_after_partial_consumption_with_faults(self, ghz):
+        plan = FaultPlan(rules=(FaultSpec("worker-crash", "sharded/shard:0"),))
+        cfg = Config(fault_plan=plan, retry=FAST_RETRY)
+        stream = run_ptsbe_stream(
+            ghz,
+            _pts(),
+            seed=SEED,
+            strategy="sharded",
+            backend=BackendSpec.batched_statevector(config=cfg),
+            executor_kwargs={"devices": 2},
+        )
+        next(stream)
+        result = stream.finalize()
+        clean = _run(ghz, "sharded")
+        assert np.array_equal(_bits(clean), result.shot_table().bits)
+        assert any(e.kind == "rebin" for e in result.recovery)

@@ -433,6 +433,164 @@ class TestDET001:
 
 
 # --------------------------------------------------------------------- #
+# ERR001: failures must reach the recovery ladder
+# --------------------------------------------------------------------- #
+class TestERR001:
+    def test_bare_except_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/streaming.py": (
+                    "def pump(fn):\n"
+                    "    try:\n"
+                    "        return fn()\n"
+                    "    except:\n"
+                    "        return None\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["ERR001"])
+        assert rule_ids(findings) == ["ERR001"]
+        assert findings[0].line == 4
+        assert "bare" in findings[0].message
+
+    def test_broad_except_without_reraise_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/parallel.py": (
+                    "def pump(fn):\n"
+                    "    try:\n"
+                    "        return fn()\n"
+                    "    except Exception as exc:\n"
+                    "        print(exc)\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["ERR001"])
+        assert rule_ids(findings) == ["ERR001"]
+        assert "Exception" in findings[0].message
+
+    def test_broad_except_that_translates_passes(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/parallel.py": (
+                    "from repro.errors import ExecutionError\n"
+                    "def pump(fn, unit):\n"
+                    "    try:\n"
+                    "        return fn()\n"
+                    "    except Exception as exc:\n"
+                    "        raise ExecutionError(f'unit {unit} died') from exc\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["ERR001"]) == []
+
+    def test_swallowed_repro_error_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/sharded.py": (
+                    "from repro.errors import BackendError\n"
+                    "def pump(units):\n"
+                    "    for unit in units:\n"
+                    "        try:\n"
+                    "            unit()\n"
+                    "        except BackendError:\n"
+                    "            continue\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["ERR001"])
+        assert rule_ids(findings) == ["ERR001"]
+        assert "BackendError" in findings[0].message
+
+    def test_swallowed_in_tuple_and_attribute_form_flagged(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "faults/retry.py": (
+                    "import repro.errors as errors\n"
+                    "def pump(fn):\n"
+                    "    try:\n"
+                    "        fn()\n"
+                    "    except (ValueError, errors.SamplingError):\n"
+                    "        pass\n"
+                )
+            },
+        )
+        findings = run_lint(tmp_path, ["ERR001"])
+        assert rule_ids(findings) == ["ERR001"]
+        assert "SamplingError" in findings[0].message
+
+    def test_handled_repro_error_passes(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/vectorized.py": (
+                    "from repro.errors import CapacityError\n"
+                    "def pump(fn, events):\n"
+                    "    try:\n"
+                    "        return fn()\n"
+                    "    except CapacityError as exc:\n"
+                    "        events.append(exc)\n"
+                    "        return None\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["ERR001"]) == []
+
+    def test_non_literal_retryable_tuple_invisible(self, tmp_path):
+        # `except policy.retryable:` routes classification through
+        # RetryPolicy — the sanctioned structured path; the rule must
+        # not guess at non-literal tuples.
+        make_tree(
+            tmp_path,
+            {
+                "execution/streaming.py": (
+                    "def pump(fn, policy):\n"
+                    "    try:\n"
+                    "        return fn()\n"
+                    "    except policy.retryable:\n"
+                    "        return None\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["ERR001"]) == []
+
+    def test_non_execution_module_ignored(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "analysis/estimators.py": (
+                    "def safe(fn):\n"
+                    "    try:\n"
+                    "        return fn()\n"
+                    "    except:\n"
+                    "        return None\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["ERR001"]) == []
+
+    def test_stdlib_narrow_except_passes(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "execution/batched.py": (
+                    "def lookup(d, k):\n"
+                    "    try:\n"
+                    "        return d[k]\n"
+                    "    except KeyError:\n"
+                    "        return None\n"
+                )
+            },
+        )
+        assert run_lint(tmp_path, ["ERR001"]) == []
+
+
+# --------------------------------------------------------------------- #
 # STRAT001: the cross-module executor contract
 # --------------------------------------------------------------------- #
 COMPLIANT_DISPATCH = """\

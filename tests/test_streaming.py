@@ -344,6 +344,87 @@ class TestAbandonment:
         _assert_no_child_processes()
 
 
+class TestCloseIdempotency:
+    """close() is a no-op the second time — and after finalize()."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_second_close_is_noop(self, brickwork, strategy):
+        specs = _pts_specs(brickwork, 4)
+        stream = _executor(strategy, "auto").execute_stream(brickwork, specs, seed=5)
+        next(stream)
+        stream.close()
+        stream.close()
+        stream.close()
+        assert stream.closed
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_close_after_finalize_is_noop(self, brickwork, strategy):
+        specs = _pts_specs(brickwork, 4)
+        stream = _executor(strategy, "auto").execute_stream(brickwork, specs, seed=5)
+        result = stream.finalize()
+        stream.close()
+        stream.close()
+        assert stream.closed
+        assert result.total_shots > 0
+
+    def test_tensornet_and_clifford_close_idempotent(self, brickwork):
+        stream = run_ptsbe_stream(
+            brickwork, ProbabilisticPTS(nsamples=8, nshots=80), seed=6,
+            strategy="tensornet",
+        )
+        next(stream)
+        stream.close()
+        stream.close()
+        assert stream.closed
+        ghz = Circuit(3).h(0).cx(0, 1).cx(1, 2).measure_all()
+        noisy = (
+            NoiseModel()
+            .add_all_qubit_gate_noise("cx", depolarizing(0.05))
+            .apply(ghz)
+            .freeze()
+        )
+        stream = run_ptsbe_stream(
+            noisy, ProbabilisticPTS(nsamples=8, nshots=80), seed=6,
+            strategy="clifford",
+        )
+        stream.finalize()
+        stream.close()
+        stream.close()
+        assert stream.closed
+
+    def test_on_close_fires_exactly_once(self):
+        calls = []
+
+        def chunks():
+            yield []
+
+        stream = StreamedResult(
+            chunks(), measured_qubits=(0,), seed=0, total_trajectories=0,
+            on_close=lambda: calls.append(1),
+        )
+        stream.close()
+        stream.close()
+        assert calls == [1]
+
+    def test_on_close_not_refired_after_exhaustion(self):
+        # Once the generator is exhausted its own finally has released
+        # every resource; close() must not re-touch freed buffers.
+        calls = []
+
+        def chunks():
+            return iter(())
+
+        stream = StreamedResult(
+            chunks(), measured_qubits=(0,), seed=0, total_trajectories=0,
+            on_close=lambda: calls.append(1),
+        )
+        stream.finalize()
+        stream.close()
+        stream.close()
+        assert stream.closed
+        assert calls == []
+
+
 class TestRetention:
     """retain=False: pure-ingest streams drop chunks after delivery."""
 
